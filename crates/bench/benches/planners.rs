@@ -1,0 +1,56 @@
+//! Criterion bench behind **Table III**'s optimization column and the
+//! DESIGN.md closed-form-vs-simplex ablation: cost of solving the
+//! auto-scaling optimization per decision horizon.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpas_core::{
+    plan_adaptive, plan_robust, plan_robust_lp, plan_staircase, AdaptiveConfig, StaircaseLevel,
+};
+use rpas_forecast::QuantileForecast;
+use rpas_tsmath::{rng, Matrix};
+use std::hint::black_box;
+
+/// Synthetic quantile forecast with realistic spread, `horizon × 7 levels`.
+fn synthetic_forecast(horizon: usize, seed: u64) -> QuantileForecast {
+    let levels = rpas_forecast::SCALING_LEVELS.to_vec();
+    let mut r = rng::seeded(seed);
+    let mut values = Matrix::zeros(horizon, levels.len());
+    for h in 0..horizon {
+        let base = 100.0 + 30.0 * (h as f64 / 12.0).sin() + rng::standard_normal(&mut r) * 5.0;
+        let spread = 10.0 + 5.0 * rng::uniform_open(&mut r);
+        for (i, &l) in levels.iter().enumerate() {
+            values[(h, i)] = base + spread * rpas_tsmath::special::norm_quantile(l);
+        }
+    }
+    QuantileForecast::new(levels, values)
+}
+
+fn bench_planners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_optimization");
+    for &horizon in &[12usize, 72, 288] {
+        let qf = synthetic_forecast(horizon, 42);
+        group.bench_with_input(BenchmarkId::new("closed_form_fixed", horizon), &qf, |b, qf| {
+            b.iter(|| black_box(plan_robust(qf, 0.9, 60.0, 1)));
+        });
+        group.bench_with_input(BenchmarkId::new("simplex_fixed", horizon), &qf, |b, qf| {
+            b.iter(|| black_box(plan_robust_lp(qf, 0.9, 60.0, 1)));
+        });
+        let cfg = AdaptiveConfig::new(0.8, 0.95, 10.0);
+        group.bench_with_input(BenchmarkId::new("adaptive", horizon), &qf, |b, qf| {
+            b.iter(|| black_box(plan_adaptive(qf, cfg, 60.0, 1)));
+        });
+        let ladder = [
+            StaircaseLevel { min_uncertainty: 0.0, tau: 0.6 },
+            StaircaseLevel { min_uncertainty: 5.0, tau: 0.8 },
+            StaircaseLevel { min_uncertainty: 10.0, tau: 0.9 },
+            StaircaseLevel { min_uncertainty: 20.0, tau: 0.95 },
+        ];
+        group.bench_with_input(BenchmarkId::new("staircase", horizon), &qf, |b, qf| {
+            b.iter(|| black_box(plan_staircase(qf, &ladder, 60.0, 1)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_planners);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! **Fig. 11** — evaluation of the adaptive approach: heatmaps of under-
+//! and over-provisioning rates for every combination of two optional
+//! quantile levels (τ₁ ≤ τ₂) under Algorithm 1, for DeepAR and TFT. The
+//! diagonal (τ₁ = τ₂) is the basic fixed-level method.
+//!
+//! Run: `cargo run --release -p rpas-bench --bin fig11`
+
+use rpas_bench::output::f;
+use rpas_bench::{datasets, models, write_csv, ExperimentProfile, Table};
+use rpas_core::{
+    evaluate_plans_precomputed, forecast_windows, uncertainty_series, AdaptiveConfig,
+    RobustAutoScalingManager, ScalingStrategy,
+};
+use rpas_forecast::{Forecaster, SCALING_LEVELS};
+
+const THETA: f64 = 60.0;
+
+/// Median of the uncertainty metric across precomputed window forecasts —
+/// the experiment's fixed uncertainty threshold ρ.
+fn median_uncertainty(windows: &[(rpas_forecast::QuantileForecast, Vec<f64>)]) -> f64 {
+    let mut us = Vec::new();
+    for (qf, _) in windows {
+        us.extend(uncertainty_series(qf));
+    }
+    rpas_tsmath::stats::median(&us)
+}
+
+fn main() {
+    let p = ExperimentProfile::from_env();
+    println!("Fig. 11 reproduction — profile {:?}, θ={THETA}", p.profile);
+    let ds = &datasets(&p)[1]; // Google trace: richest uncertainty structure
+
+    let mut deepar = models::deepar(&p, 1);
+    Forecaster::fit(&mut deepar, &ds.train).expect("deepar fit");
+    let mut tft = models::tft(&p, &SCALING_LEVELS, 1);
+    Forecaster::fit(&mut tft, &ds.train).expect("tft fit");
+
+    let named: Vec<(&str, &dyn Forecaster)> = vec![("deepar", &deepar), ("tft", &tft)];
+    for (name, model) in named {
+        // Forecast every test window once; all 28 heatmap cells reuse them.
+        let windows = forecast_windows(model, &ds.test, p.context, p.horizon, &SCALING_LEVELS);
+        let rho = median_uncertainty(&windows);
+        println!("\n{name}: uncertainty threshold ρ = {} (median U over test windows)", f(rho));
+
+        let mut under_t = Table::new(
+            &std::iter::once("τ1\\τ2".to_string())
+                .chain(SCALING_LEVELS.iter().map(|t| t.to_string()))
+                .collect::<Vec<_>>()
+                .iter()
+                .map(|s| s.as_str())
+                .collect::<Vec<_>>(),
+        );
+        let mut over_t = under_t.clone();
+        let mut flat: Vec<(f64, f64, f64, f64)> = Vec::new(); // τ1, τ2, under, over
+
+        for &t1 in SCALING_LEVELS.iter() {
+            let mut urow = vec![t1.to_string()];
+            let mut orow = vec![t1.to_string()];
+            for &t2 in SCALING_LEVELS.iter() {
+                if t2 < t1 {
+                    urow.push("·".into());
+                    orow.push("·".into());
+                    continue;
+                }
+                let mgr = RobustAutoScalingManager::new(
+                    THETA,
+                    1,
+                    ScalingStrategy::Adaptive(AdaptiveConfig::new(t1, t2, rho)),
+                );
+                let r = evaluate_plans_precomputed(&windows, &mgr);
+                urow.push(f(r.under_rate));
+                orow.push(f(r.over_rate));
+                flat.push((t1, t2, r.under_rate, r.over_rate));
+            }
+            under_t.row(urow);
+            over_t.row(orow);
+        }
+        under_t.print(&format!("Fig. 11 — {name}: under-provisioning heatmap (google)"));
+        over_t.print(&format!("Fig. 11 — {name}: over-provisioning heatmap (google)"));
+
+        let t1s: Vec<f64> = flat.iter().map(|x| x.0).collect();
+        let t2s: Vec<f64> = flat.iter().map(|x| x.1).collect();
+        let us: Vec<f64> = flat.iter().map(|x| x.2).collect();
+        let os: Vec<f64> = flat.iter().map(|x| x.3).collect();
+        write_csv(
+            &format!("fig11_{name}.csv"),
+            &[("tau1", &t1s[..]), ("tau2", &t2s[..]), ("under", &us[..]), ("over", &os[..])],
+        );
+    }
+
+    println!(
+        "\nShape check vs paper: off-diagonal cells (adaptive, τ₁ < τ₂) reduce \
+         over-provisioning relative to the fixed τ₂ diagonal cell without raising \
+         under-provisioning above it by more than forecast noise."
+    );
+}

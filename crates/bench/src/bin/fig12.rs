@@ -1,0 +1,77 @@
+//! **Fig. 12** — sensitivity analysis of the uncertainty threshold ρ on
+//! the Google trace: sweep ρ across the observed range of the uncertainty
+//! metric and report under-/over-provisioning for selected (τ₁, τ₂)
+//! combinations.
+//!
+//! Run: `cargo run --release -p rpas-bench --bin fig12`
+
+use rpas_bench::output::f;
+use rpas_bench::{datasets, models, write_csv, ExperimentProfile, Table};
+use rpas_core::{
+    evaluate_plans_precomputed, forecast_windows, uncertainty_series, AdaptiveConfig,
+    RobustAutoScalingManager, ScalingStrategy,
+};
+use rpas_forecast::{Forecaster, SCALING_LEVELS};
+
+const THETA: f64 = 60.0;
+const COMBOS: [(f64, f64); 3] = [(0.5, 0.9), (0.8, 0.95), (0.9, 0.99)];
+
+fn main() {
+    let p = ExperimentProfile::from_env();
+    println!("Fig. 12 reproduction — profile {:?}, θ={THETA}", p.profile);
+    let ds = &datasets(&p)[1]; // Google trace, as in the paper
+
+    let mut tft = models::tft(&p, &SCALING_LEVELS, 1);
+    Forecaster::fit(&mut tft, &ds.train).expect("tft fit");
+
+    // Forecast every test window once; the whole ρ sweep reuses them.
+    let windows = forecast_windows(&tft, &ds.test, p.context, p.horizon, &SCALING_LEVELS);
+    // Observed uncertainty distribution → sweep ρ over its quantiles.
+    let mut us = Vec::new();
+    for (qf, _) in &windows {
+        us.extend(uncertainty_series(qf));
+    }
+    let rho_grid: Vec<f64> = (0..=10)
+        .map(|i| rpas_tsmath::stats::quantile(&us, i as f64 / 10.0))
+        .collect();
+
+    let mut headers = vec!["rho".to_string()];
+    for (t1, t2) in COMBOS {
+        headers.push(format!("({t1},{t2}) under"));
+        headers.push(format!("({t1},{t2}) over"));
+    }
+    let hdr: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(&hdr);
+
+    let mut csv: Vec<(String, Vec<f64>)> = vec![("rho".into(), rho_grid.clone())];
+    for (t1, t2) in COMBOS {
+        csv.push((format!("under_{t1}_{t2}"), Vec::new()));
+        csv.push((format!("over_{t1}_{t2}"), Vec::new()));
+    }
+
+    for &rho in &rho_grid {
+        let mut row = vec![f(rho)];
+        for (ci, &(t1, t2)) in COMBOS.iter().enumerate() {
+            let mgr = RobustAutoScalingManager::new(
+                THETA,
+                1,
+                ScalingStrategy::Adaptive(AdaptiveConfig::new(t1, t2, rho)),
+            );
+            let r = evaluate_plans_precomputed(&windows, &mgr);
+            row.push(f(r.under_rate));
+            row.push(f(r.over_rate));
+            csv[1 + 2 * ci].1.push(r.under_rate);
+            csv[2 + 2 * ci].1.push(r.over_rate);
+        }
+        table.row(row);
+    }
+    table.print("Fig. 12 — sensitivity to the uncertainty threshold ρ (google, TFT)");
+    let cols: Vec<(&str, &[f64])> = csv.iter().map(|(n, v)| (n.as_str(), v.as_slice())).collect();
+    write_csv("fig12.csv", &cols);
+
+    println!(
+        "\nShape check vs paper: ρ=min(U) behaves like fixed τ₂ (always conservative), \
+         ρ>max(U) like fixed τ₁ (always aggressive); between them the rates move in \
+         step-like segments, so nearby thresholds give comparable outcomes."
+    );
+}

@@ -1,0 +1,60 @@
+//! **Fig. 8** — forecasting-horizon evaluation: mean_wQL of each model at
+//! prediction lengths {1, 6, 12, 36, 72} steps (10 min … 12 h) with a
+//! fixed 72-step context, per dataset.
+//!
+//! Run: `cargo run --release -p rpas-bench --bin fig8`
+
+use rpas_bench::output::f;
+use rpas_bench::{datasets, fit_all_quantile_models, write_csv, ExperimentProfile, Table};
+use rpas_forecast::{evaluate_quantile, Forecaster, EVAL_LEVELS};
+
+fn main() {
+    let p = ExperimentProfile::from_env();
+    println!("Fig. 8 reproduction — profile {:?}", p.profile);
+    let horizons: Vec<usize> = [1usize, 6, 12, 36, 72]
+        .into_iter()
+        .filter(|&h| h <= p.horizon)
+        .collect();
+
+    for ds in datasets(&p) {
+        // The models are trained once at the maximum horizon; shorter
+        // horizons reuse the same fit (the paper likewise fixes
+        // hyperparameters across horizons).
+        let models = fit_all_quantile_models(&p, &ds.train, &EVAL_LEVELS, 1);
+        let named: Vec<(&str, &dyn Forecaster)> = vec![
+            ("arima", &models.arima),
+            ("mlp", &models.mlp),
+            ("deepar", &models.deepar),
+            ("tft", &models.tft),
+        ];
+
+        let mut headers = vec!["model".to_string()];
+        headers.extend(horizons.iter().map(|h| format!("H={h}")));
+        let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut table = Table::new(&hdr_refs);
+
+        let mut csv_cols: Vec<(String, Vec<f64>)> =
+            vec![("horizon".into(), horizons.iter().map(|&h| h as f64).collect())];
+        for (name, model) in named {
+            let mut row = vec![name.to_string()];
+            let mut series = Vec::new();
+            for &h in &horizons {
+                let r = evaluate_quantile(model, &ds.test, p.context, h, &EVAL_LEVELS);
+                row.push(f(r.mean_wql));
+                series.push(r.mean_wql);
+            }
+            table.row(row);
+            csv_cols.push((name.to_string(), series));
+        }
+        table.print(&format!("Fig. 8 — mean_wQL vs horizon, {} trace", ds.name));
+        let cols: Vec<(&str, &[f64])> =
+            csv_cols.iter().map(|(n, v)| (n.as_str(), v.as_slice())).collect();
+        write_csv(&format!("fig8_{}.csv", ds.name), &cols);
+    }
+
+    println!(
+        "\nShape check vs paper: DeepAR and TFT beat ARIMA/MLP at every horizon; DeepAR is \
+         strongest at short horizons and degrades as iterative errors accumulate, while \
+         TFT is comparatively weaker at H=1 and strongest long-horizon."
+    );
+}

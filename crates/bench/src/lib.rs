@@ -1,0 +1,65 @@
+//! # rpas-bench
+//!
+//! The experiment harness: shared model constructors, dataset preparation,
+//! and table/CSV output used by the per-table/per-figure binaries (see
+//! `src/bin/`) and the Criterion benches.
+//!
+//! Every binary honours the `RPAS_PROFILE` environment variable:
+//!
+//! * `full` (default) — paper-scale settings: context 72, horizon 72,
+//!   42-day traces, three training runs where the paper averages over
+//!   three.
+//! * `quick` — scaled-down settings for smoke-testing the harness
+//!   (minutes → seconds). Numbers are NOT comparable to the paper.
+
+pub mod models;
+pub mod output;
+pub mod profile;
+
+pub use models::{fit_all_quantile_models, FittedQuantileModels};
+pub use output::{results_path, write_csv, Table};
+pub use profile::{ExperimentProfile, Profile};
+
+use rpas_traces::{alibaba_like, google_like, Trace};
+
+/// One prepared dataset: name + train/test split of the CPU trace.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset display name (`alibaba` / `google`).
+    pub name: &'static str,
+    /// Training series (first 70%).
+    pub train: Vec<f64>,
+    /// Held-out series (last 30%).
+    pub test: Vec<f64>,
+    /// The full trace (for simulator-level experiments).
+    pub full: Trace,
+}
+
+/// Build both evaluation datasets at the profile's length.
+pub fn datasets(p: &ExperimentProfile) -> Vec<Dataset> {
+    let mk = |name: &'static str, trace: Trace| {
+        let (train, test) = trace.train_test_split(0.7);
+        Dataset { name, train: train.values, test: test.values, full: trace }
+    };
+    vec![
+        mk("alibaba", alibaba_like(p.trace_seed, p.trace_days).cpu().clone()),
+        mk("google", google_like(p.trace_seed, p.trace_days).cpu().clone()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasets_split_70_30() {
+        let p = ExperimentProfile::quick();
+        let ds = datasets(&p);
+        assert_eq!(ds.len(), 2);
+        for d in &ds {
+            let n = d.full.len();
+            assert_eq!(d.train.len(), (n as f64 * 0.7).floor() as usize);
+            assert_eq!(d.train.len() + d.test.len(), n);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Table rendering and CSV artifact output for the experiment binaries.
+
+use std::path::PathBuf;
+
+/// A simple aligned text table (what the binaries print to stdout).
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row of preformatted cells.
+    ///
+    /// # Panics
+    /// Panics if the width differs from the header row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "table row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout with a title banner.
+    pub fn print(&self, title: &str) {
+        println!("\n== {title} ==");
+        print!("{}", self.render());
+    }
+}
+
+/// Format a float for a table cell (4 significant decimals).
+pub fn f(v: f64) -> String {
+    if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Where experiment artifacts are written (`results/` in the workspace).
+pub fn results_path(name: &str) -> PathBuf {
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .map(|p| p.parent().and_then(|p| p.parent()).map(|p| p.to_path_buf()).unwrap_or(p))
+        .unwrap_or_else(|_| PathBuf::from("."));
+    root.join("results").join(name)
+}
+
+/// Write named columns as a CSV artifact under `results/`.
+pub fn write_csv(name: &str, columns: &[(&str, &[f64])]) {
+    let path = results_path(name);
+    if let Err(e) = rpas_traces::csv::write_columns_to_path(&path, columns) {
+        eprintln!("warning: failed to write {}: {e}", path.display());
+    } else {
+        println!("[wrote {}]", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["model", "mse"]);
+        t.row(vec!["arima".into(), "411.1".into()]);
+        t.row(vec!["tft".into(), "3.1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("model"));
+        assert!(lines[2].starts_with("arima"));
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.00412), "0.0041");
+        assert_eq!(f(411.123), "411.1");
+    }
+}

@@ -1,0 +1,173 @@
+//! Rolling backtests: the per-window view behind the aggregate rates of
+//! [`crate::eval`]. Operators use this to see *when* a strategy
+//! under-provisions (a bad day, a regime change) rather than only how
+//! often, and to track cost regret against the clairvoyant oracle
+//! allocation.
+
+use crate::manager::RobustAutoScalingManager;
+use rpas_forecast::Forecaster;
+use rpas_metrics::{provisioning_rates, ProvisioningReport};
+use rpas_traces::RollingWindows;
+
+/// One decision window of a backtest.
+#[derive(Debug, Clone)]
+pub struct BacktestWindow {
+    /// Step index (within the test series) where this window's plan starts.
+    pub start: usize,
+    /// Provisioning quality of this window alone.
+    pub report: ProvisioningReport,
+    /// Node-intervals the plan paid for in this window.
+    pub node_steps: u64,
+    /// Node-intervals the clairvoyant minimum allocation would have paid.
+    pub oracle_node_steps: u64,
+}
+
+/// Full backtest result.
+#[derive(Debug, Clone)]
+pub struct BacktestReport {
+    /// Per-window breakdown, in chronological order.
+    pub windows: Vec<BacktestWindow>,
+    /// Aggregate provisioning rates over all windows.
+    pub overall: ProvisioningReport,
+    /// `Σ (allocated − oracle)` node-intervals. Positive = paid capacity
+    /// above the clairvoyant minimum; can be negative only by
+    /// under-provisioning.
+    pub cost_regret_node_steps: i64,
+}
+
+impl BacktestReport {
+    /// The window with the worst under-provisioning rate.
+    pub fn worst_window(&self) -> Option<&BacktestWindow> {
+        self.windows
+            .iter()
+            .max_by(|a, b| a.report.under_rate.partial_cmp(&b.report.under_rate).expect("finite"))
+    }
+
+    /// Under-provisioning rate per window, as a series (for plotting).
+    pub fn under_rate_series(&self) -> Vec<f64> {
+        self.windows.iter().map(|w| w.report.under_rate).collect()
+    }
+}
+
+/// Backtest a fitted quantile forecaster + manager over rolling windows.
+///
+/// # Panics
+/// Panics when the test series cannot fit a single window or a forecast
+/// fails (setup bugs, not data conditions).
+pub fn backtest_quantile<F: Forecaster + ?Sized>(
+    forecaster: &F,
+    test_series: &[f64],
+    context: usize,
+    horizon: usize,
+    manager: &RobustAutoScalingManager,
+    levels: &[f64],
+) -> BacktestReport {
+    let rw = RollingWindows::new(test_series, context, horizon);
+    assert!(!rw.is_empty(), "test series too short for one decision window");
+
+    let mut windows = Vec::with_capacity(rw.len());
+    let mut all_alloc: Vec<u32> = Vec::new();
+    let mut all_actual: Vec<f64> = Vec::new();
+    let mut regret: i64 = 0;
+
+    for (k, (ctx, actual)) in rw.iter().enumerate() {
+        let qf = forecaster
+            .forecast_quantiles(ctx, horizon, levels)
+            .expect("forecast failed during backtest");
+        let plan = manager.plan(&qf);
+        let alloc = plan.as_slice();
+        let report = provisioning_rates(alloc, actual, manager.theta(), manager.min_nodes());
+        let node_steps: u64 = alloc.iter().map(|&c| c as u64).sum();
+        let oracle: u64 = actual
+            .iter()
+            .map(|&w| {
+                rpas_metrics::provisioning::required_nodes(w, manager.theta(), manager.min_nodes())
+                    as u64
+            })
+            .sum();
+        regret += node_steps as i64 - oracle as i64;
+        windows.push(BacktestWindow {
+            start: context + k * horizon,
+            report,
+            node_steps,
+            oracle_node_steps: oracle,
+        });
+        all_alloc.extend_from_slice(alloc);
+        all_actual.extend_from_slice(actual);
+    }
+
+    BacktestReport {
+        overall: provisioning_rates(&all_alloc, &all_actual, manager.theta(), manager.min_nodes()),
+        windows,
+        cost_regret_node_steps: regret,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::ScalingStrategy;
+    use rpas_forecast::SeasonalNaive;
+
+    fn periodic(n: usize) -> Vec<f64> {
+        (0..n).map(|t| 60.0 + 50.0 * ((t % 8) as f64 / 7.0)).collect()
+    }
+
+    fn backtest(tau: f64) -> BacktestReport {
+        let series = periodic(500);
+        let (train, test) = series.split_at(300);
+        let mut sn = SeasonalNaive::new(8);
+        sn.fit(train).unwrap();
+        let manager = RobustAutoScalingManager::new(60.0, 1, ScalingStrategy::Fixed { tau });
+        backtest_quantile(&sn, test, 16, 8, &manager, &[0.5, 0.9])
+    }
+
+    #[test]
+    fn windows_tile_the_series() {
+        let r = backtest(0.9);
+        assert!(!r.windows.is_empty());
+        for (i, w) in r.windows.iter().enumerate() {
+            assert_eq!(w.start, 16 + i * 8);
+        }
+        assert_eq!(r.under_rate_series().len(), r.windows.len());
+    }
+
+    #[test]
+    fn overall_consistent_with_windows() {
+        let r = backtest(0.9);
+        // Overall under-rate is the window-average (equal window lengths).
+        let avg: f64 =
+            r.windows.iter().map(|w| w.report.under_rate).sum::<f64>() / r.windows.len() as f64;
+        assert!((avg - r.overall.under_rate).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_tau_costs_more_regret() {
+        let lo = backtest(0.5);
+        let hi = backtest(0.95);
+        assert!(hi.cost_regret_node_steps >= lo.cost_regret_node_steps);
+        // On near-perfectly-forecastable data the conservative plan never
+        // under-provisions.
+        assert!(hi.overall.under_rate < 0.05);
+    }
+
+    #[test]
+    fn worst_window_is_max_under_rate() {
+        let r = backtest(0.5);
+        let w = r.worst_window().unwrap();
+        assert!(r.windows.iter().all(|x| x.report.under_rate <= w.report.under_rate));
+    }
+
+    #[test]
+    fn oracle_never_exceeds_feasible_plan_cost_when_feasible() {
+        // For a plan with zero under-provisioning, allocated ≥ oracle in
+        // every window, so regret ≥ 0.
+        let r = backtest(0.95);
+        if r.overall.under_rate == 0.0 {
+            assert!(r.cost_regret_node_steps >= 0);
+            for w in &r.windows {
+                assert!(w.node_steps >= w.oracle_node_steps);
+            }
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! # rpas-core
+//!
+//! The Robust Auto-Scaling Manager — phase ② of the paper's framework and
+//! its primary contribution.
+//!
+//! * [`plan`] — the deterministic auto-scaling optimization of Definition 3
+//!   (closed form and through the `rpas-lp` simplex, as the paper's
+//!   "standard linear programming solvers").
+//! * [`robust`] — the robust counterpart of Definitions 4/Eq. 6: allocate
+//!   against a chosen quantile forecast instead of a point forecast.
+//! * [`uncertainty`] — the quantile-spread uncertainty metric `U` (Eq. 8).
+//! * [`adaptive`] — Algorithm 1 (uncertainty-aware adaptive scaling) and
+//!   its staircase multi-level extension (Definition 5).
+//! * [`reactive`] — Reactive-Max and Reactive-Avg baselines (Autopilot-like
+//!   moving-window scalers).
+//! * [`thrash`] — §V-A scale smoothing: per-step delta limits + cooldown.
+//! * [`manager`] — the [`manager::RobustAutoScalingManager`] façade tying
+//!   forecast → plan together.
+//! * [`autoscaler`] — end-to-end [`rpas_simdb::ScalingPolicy`]
+//!   implementations that own a forecaster and replan on a rolling horizon.
+//! * [`eval`] — the Fig. 9–12 evaluation protocol (rolling plans vs
+//!   realised workload).
+
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod autoscaler;
+pub mod backtest;
+pub mod eval;
+pub mod manager;
+pub mod multi;
+pub mod plan;
+pub mod reactive;
+pub mod robust;
+pub mod thrash;
+pub mod uncertainty;
+
+pub use adaptive::{plan_adaptive, plan_staircase, AdaptiveConfig, StaircaseLevel};
+pub use autoscaler::{PointPredictivePolicy, QuantilePredictivePolicy, ReplanSchedule};
+pub use backtest::{backtest_quantile, BacktestReport, BacktestWindow};
+pub use eval::{
+    evaluate_plans_point, evaluate_plans_precomputed, evaluate_plans_quantile, evaluate_reactive,
+    forecast_windows,
+};
+pub use manager::{PlanningBackend, RobustAutoScalingManager, ScalingStrategy};
+pub use multi::{plan_multi_resource, MultiResourcePlan, ResourceDimension};
+pub use plan::{plan_point, plan_point_lp, CapacityPlan};
+pub use reactive::{ReactiveAvg, ReactiveMax};
+pub use robust::{plan_robust, plan_robust_lp};
+pub use thrash::{smooth_plan, ThrashConfig, ThrashLimited};
+pub use uncertainty::{uncertainty_at, uncertainty_series};

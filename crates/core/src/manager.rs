@@ -1,0 +1,188 @@
+//! The Robust Auto-Scaling Manager: the façade that turns a quantile
+//! forecast into a capacity plan under a chosen strategy (Fig. 2, phase ②).
+
+use crate::adaptive::{AdaptiveConfig, StaircaseLevel};
+use crate::plan::{plan_point, plan_point_lp, CapacityPlan};
+use crate::uncertainty::uncertainty_at;
+use rpas_forecast::QuantileForecast;
+
+/// How conservative the manager is, per Definitions 4–5.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalingStrategy {
+    /// One quantile level for the whole horizon (Eq. 6).
+    Fixed {
+        /// The quantile level `τ`.
+        tau: f64,
+    },
+    /// Algorithm 1: two levels switched by the uncertainty metric.
+    Adaptive(AdaptiveConfig),
+    /// The staircase extension: a ladder of `(uncertainty, τ)` rungs.
+    Staircase(Vec<StaircaseLevel>),
+}
+
+/// Which solver realises the optimization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanningBackend {
+    /// Closed-form per-step ceiling (the separable optimum).
+    ClosedForm,
+    /// The `rpas-lp` two-phase simplex — the paper's "standard linear
+    /// programming solvers" path; same answers, measurably slower (see
+    /// the `planners` Criterion bench).
+    Simplex,
+}
+
+/// Robust Auto-Scaling Manager.
+///
+/// ```
+/// use rpas_core::{RobustAutoScalingManager, ScalingStrategy};
+/// use rpas_forecast::QuantileForecast;
+/// use rpas_tsmath::Matrix;
+///
+/// // A one-step forecast: median 100, 0.9-quantile 130.
+/// let f = QuantileForecast::new(
+///     vec![0.5, 0.9],
+///     Matrix::from_rows(&[vec![100.0, 130.0]]),
+/// );
+/// let manager = RobustAutoScalingManager::new(60.0, 1, ScalingStrategy::Fixed { tau: 0.9 });
+/// // Covering the 0.9-quantile workload (130) at θ=60 needs 3 nodes.
+/// assert_eq!(manager.plan(&f).as_slice(), &[3]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RobustAutoScalingManager {
+    theta: f64,
+    min_nodes: u32,
+    strategy: ScalingStrategy,
+    backend: PlanningBackend,
+}
+
+impl RobustAutoScalingManager {
+    /// New manager with the closed-form backend.
+    ///
+    /// # Panics
+    /// Panics on non-positive `theta` or a malformed strategy.
+    pub fn new(theta: f64, min_nodes: u32, strategy: ScalingStrategy) -> Self {
+        assert!(theta > 0.0, "theta must be positive");
+        if let ScalingStrategy::Fixed { tau } = &strategy {
+            assert!(*tau > 0.0 && *tau < 1.0, "tau must be in (0,1)");
+        }
+        Self { theta, min_nodes, strategy, backend: PlanningBackend::ClosedForm }
+    }
+
+    /// Builder: switch the solving backend.
+    pub fn with_backend(mut self, backend: PlanningBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Scaling threshold `θ`.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Minimum pool size.
+    pub fn min_nodes(&self) -> u32 {
+        self.min_nodes
+    }
+
+    /// The configured strategy.
+    pub fn strategy(&self) -> &ScalingStrategy {
+        &self.strategy
+    }
+
+    /// The per-step workload bound the strategy selects from the forecast
+    /// (the `ŵ_t^{τ_t}` series fed into the optimization).
+    pub fn effective_workload(&self, forecast: &QuantileForecast) -> Vec<f64> {
+        (0..forecast.horizon())
+            .map(|i| {
+                let tau = match &self.strategy {
+                    ScalingStrategy::Fixed { tau } => *tau,
+                    ScalingStrategy::Adaptive(cfg) => {
+                        if uncertainty_at(forecast, i) >= cfg.rho {
+                            cfg.tau_high
+                        } else {
+                            cfg.tau_low
+                        }
+                    }
+                    ScalingStrategy::Staircase(levels) => {
+                        let u = uncertainty_at(forecast, i);
+                        levels
+                            .iter()
+                            .rev()
+                            .find(|l| u >= l.min_uncertainty)
+                            .unwrap_or(levels.first().expect("non-empty ladder"))
+                            .tau
+                    }
+                };
+                forecast.at(i, tau).max(0.0)
+            })
+            .collect()
+    }
+
+    /// Produce the capacity plan for a forecast horizon.
+    pub fn plan(&self, forecast: &QuantileForecast) -> CapacityPlan {
+        let w = self.effective_workload(forecast);
+        match self.backend {
+            PlanningBackend::ClosedForm => plan_point(&w, self.theta, self.min_nodes),
+            PlanningBackend::Simplex => plan_point_lp(&w, self.theta, self.min_nodes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptive::plan_adaptive;
+    use crate::robust::plan_robust;
+    use rpas_tsmath::Matrix;
+
+    fn forecast() -> QuantileForecast {
+        QuantileForecast::new(
+            vec![0.1, 0.5, 0.9, 0.95],
+            Matrix::from_rows(&[
+                vec![99.0, 100.0, 101.0, 102.0],
+                vec![60.0, 100.0, 180.0, 220.0],
+            ]),
+        )
+    }
+
+    #[test]
+    fn fixed_strategy_matches_plan_robust() {
+        let m = RobustAutoScalingManager::new(60.0, 1, ScalingStrategy::Fixed { tau: 0.9 });
+        assert_eq!(m.plan(&forecast()), plan_robust(&forecast(), 0.9, 60.0, 1));
+    }
+
+    #[test]
+    fn adaptive_strategy_matches_plan_adaptive() {
+        let cfg = AdaptiveConfig::new(0.5, 0.95, 5.0);
+        let m = RobustAutoScalingManager::new(60.0, 1, ScalingStrategy::Adaptive(cfg));
+        assert_eq!(m.plan(&forecast()), plan_adaptive(&forecast(), cfg, 60.0, 1));
+    }
+
+    #[test]
+    fn simplex_backend_agrees_with_closed_form() {
+        for strategy in [
+            ScalingStrategy::Fixed { tau: 0.9 },
+            ScalingStrategy::Adaptive(AdaptiveConfig::new(0.5, 0.95, 5.0)),
+        ] {
+            let a = RobustAutoScalingManager::new(60.0, 1, strategy.clone()).plan(&forecast());
+            let b = RobustAutoScalingManager::new(60.0, 1, strategy)
+                .with_backend(PlanningBackend::Simplex)
+                .plan(&forecast());
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn effective_workload_reflects_strategy() {
+        let m = RobustAutoScalingManager::new(60.0, 1, ScalingStrategy::Fixed { tau: 0.5 });
+        assert_eq!(m.effective_workload(&forecast()), vec![100.0, 100.0]);
+        let m = RobustAutoScalingManager::new(60.0, 1, ScalingStrategy::Fixed { tau: 0.95 });
+        assert_eq!(m.effective_workload(&forecast()), vec![102.0, 220.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "tau must be in (0,1)")]
+    fn rejects_bad_fixed_tau() {
+        RobustAutoScalingManager::new(60.0, 1, ScalingStrategy::Fixed { tau: 0.0 });
+    }
+}

@@ -1,0 +1,159 @@
+//! Multi-resource scaling: plan against several resource dimensions at
+//! once (CPU, memory, disk — the channels the paper's traces carry) and
+//! allocate the element-wise maximum.
+//!
+//! A compute node is under-provisioned if *any* resource exceeds its
+//! threshold, so the feasible region is the intersection of the
+//! per-resource constraints and the optimal joint plan is the per-step max
+//! of the per-resource plans (the per-resource problems are separable and
+//! the objective is shared).
+
+use crate::manager::RobustAutoScalingManager;
+use crate::plan::CapacityPlan;
+use rpas_forecast::QuantileForecast;
+use rpas_traces::ResourceKind;
+
+/// One resource dimension: its forecast and the manager (threshold +
+/// strategy) that governs it.
+pub struct ResourceDimension<'a> {
+    /// Which resource this dimension covers.
+    pub kind: ResourceKind,
+    /// Quantile forecast for this resource.
+    pub forecast: &'a QuantileForecast,
+    /// The manager (θ and conservatism strategy) for this resource.
+    pub manager: &'a RobustAutoScalingManager,
+}
+
+/// Joint plan plus the per-resource plans it was built from.
+#[derive(Debug, Clone)]
+pub struct MultiResourcePlan {
+    /// The combined allocation (per-step max over resources).
+    pub combined: CapacityPlan,
+    /// The individual plans, in input order.
+    pub per_resource: Vec<(ResourceKind, CapacityPlan)>,
+}
+
+impl MultiResourcePlan {
+    /// Which resource binds (drives the allocation) at step `t`; ties go
+    /// to the earliest dimension in input order.
+    ///
+    /// # Panics
+    /// Panics if `t` is out of range.
+    pub fn binding_resource(&self, t: usize) -> ResourceKind {
+        let target = self.combined.at(t);
+        self.per_resource
+            .iter()
+            .find(|(_, p)| p.at(t) == target)
+            .map(|(k, _)| *k)
+            .expect("combined plan is the max of per-resource plans")
+    }
+
+    /// Fraction of steps on which each resource binds (sums can exceed 1
+    /// when several resources tie).
+    pub fn binding_fractions(&self) -> Vec<(ResourceKind, f64)> {
+        let h = self.combined.len().max(1);
+        self.per_resource
+            .iter()
+            .map(|(k, p)| {
+                let n = (0..self.combined.len())
+                    .filter(|&t| p.at(t) == self.combined.at(t))
+                    .count();
+                (*k, n as f64 / h as f64)
+            })
+            .collect()
+    }
+}
+
+/// Plan across several resource dimensions.
+///
+/// # Panics
+/// Panics on an empty dimension list or mismatched forecast horizons.
+pub fn plan_multi_resource(dimensions: &[ResourceDimension<'_>]) -> MultiResourcePlan {
+    assert!(!dimensions.is_empty(), "need at least one resource dimension");
+    let horizon = dimensions[0].forecast.horizon();
+    assert!(
+        dimensions.iter().all(|d| d.forecast.horizon() == horizon),
+        "all forecasts must share one horizon"
+    );
+
+    let per_resource: Vec<(ResourceKind, CapacityPlan)> =
+        dimensions.iter().map(|d| (d.kind, d.manager.plan(d.forecast))).collect();
+    let combined = per_resource
+        .iter()
+        .map(|(_, p)| p.clone())
+        .reduce(|a, b| a.max_with(&b))
+        .expect("non-empty dimensions");
+    MultiResourcePlan { combined, per_resource }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::ScalingStrategy;
+    use rpas_tsmath::Matrix;
+
+    fn qf(rows: &[Vec<f64>]) -> QuantileForecast {
+        QuantileForecast::new(vec![0.5, 0.9], Matrix::from_rows(rows))
+    }
+
+    #[test]
+    fn combined_is_pointwise_max() {
+        // CPU needs [2, 1] nodes; memory needs [1, 3] at their thresholds.
+        let cpu_f = qf(&[vec![100.0, 110.0], vec![50.0, 55.0]]);
+        let mem_f = qf(&[vec![150.0, 190.0], vec![500.0, 580.0]]);
+        let cpu_m = RobustAutoScalingManager::new(60.0, 1, ScalingStrategy::Fixed { tau: 0.9 });
+        let mem_m = RobustAutoScalingManager::new(200.0, 1, ScalingStrategy::Fixed { tau: 0.9 });
+        let plan = plan_multi_resource(&[
+            ResourceDimension { kind: ResourceKind::Cpu, forecast: &cpu_f, manager: &cpu_m },
+            ResourceDimension { kind: ResourceKind::Memory, forecast: &mem_f, manager: &mem_m },
+        ]);
+        assert_eq!(plan.combined.as_slice(), &[2, 3]);
+        assert_eq!(plan.binding_resource(0), ResourceKind::Cpu);
+        assert_eq!(plan.binding_resource(1), ResourceKind::Memory);
+    }
+
+    #[test]
+    fn combined_feasible_for_every_resource() {
+        let cpu_f = qf(&[vec![100.0, 130.0], vec![240.0, 290.0]]);
+        let mem_f = qf(&[vec![390.0, 410.0], vec![100.0, 120.0]]);
+        let cpu_m = RobustAutoScalingManager::new(60.0, 1, ScalingStrategy::Fixed { tau: 0.9 });
+        let mem_m = RobustAutoScalingManager::new(200.0, 1, ScalingStrategy::Fixed { tau: 0.9 });
+        let plan = plan_multi_resource(&[
+            ResourceDimension { kind: ResourceKind::Cpu, forecast: &cpu_f, manager: &cpu_m },
+            ResourceDimension { kind: ResourceKind::Memory, forecast: &mem_f, manager: &mem_m },
+        ]);
+        for t in 0..2 {
+            let c = plan.combined.at(t) as f64;
+            assert!(cpu_f.at(t, 0.9) / c <= 60.0 + 1e-9);
+            assert!(mem_f.at(t, 0.9) / c <= 200.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn binding_fractions_cover_all_steps() {
+        let cpu_f = qf(&[vec![100.0, 130.0], vec![50.0, 60.0], vec![10.0, 20.0]]);
+        let mem_f = qf(&[vec![100.0, 150.0], vec![300.0, 350.0], vec![10.0, 30.0]]);
+        let cpu_m = RobustAutoScalingManager::new(60.0, 1, ScalingStrategy::Fixed { tau: 0.9 });
+        let mem_m = RobustAutoScalingManager::new(200.0, 1, ScalingStrategy::Fixed { tau: 0.9 });
+        let plan = plan_multi_resource(&[
+            ResourceDimension { kind: ResourceKind::Cpu, forecast: &cpu_f, manager: &cpu_m },
+            ResourceDimension { kind: ResourceKind::Memory, forecast: &mem_f, manager: &mem_m },
+        ]);
+        let fr = plan.binding_fractions();
+        // Every step has at least one binding resource.
+        let total: f64 = fr.iter().map(|(_, f)| f).sum();
+        assert!(total >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "share one horizon")]
+    fn mismatched_horizons_rejected() {
+        let a = qf(&[vec![1.0, 2.0]]);
+        let b = qf(&[vec![1.0, 2.0], vec![1.0, 2.0]]);
+        let m = RobustAutoScalingManager::new(60.0, 1, ScalingStrategy::Fixed { tau: 0.9 });
+        let _ = plan_multi_resource(&[
+            ResourceDimension { kind: ResourceKind::Cpu, forecast: &a, manager: &m },
+            ResourceDimension { kind: ResourceKind::Memory, forecast: &b, manager: &m },
+        ]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Capacity plans and the deterministic auto-scaling optimization
+//! (Definition 3): minimise total compute nodes subject to keeping the
+//! average per-node workload below the threshold at every step.
+
+use rpas_lp::{solve, LpProblem, Relation};
+
+/// A per-step allocation of compute nodes over a decision horizon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapacityPlan {
+    nodes: Vec<u32>,
+}
+
+impl CapacityPlan {
+    /// Build a plan from explicit per-step node counts.
+    pub fn new(nodes: Vec<u32>) -> Self {
+        Self { nodes }
+    }
+
+    /// Plan length (the decision horizon `H`).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Node count for step `t`.
+    ///
+    /// # Panics
+    /// Panics if `t` is out of range.
+    pub fn at(&self, t: usize) -> u32 {
+        self.nodes[t]
+    }
+
+    /// The allocation series.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.nodes
+    }
+
+    /// Objective value `Σ_t c_t` (total node-intervals).
+    pub fn total_nodes(&self) -> u64 {
+        self.nodes.iter().map(|&c| c as u64).sum()
+    }
+
+    /// Element-wise maximum of two plans (useful to combine constraints).
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn max_with(&self, other: &CapacityPlan) -> CapacityPlan {
+        assert_eq!(self.len(), other.len(), "plan length mismatch");
+        CapacityPlan::new(
+            self.nodes.iter().zip(&other.nodes).map(|(&a, &b)| a.max(b)).collect(),
+        )
+    }
+}
+
+/// Closed-form solution of Definition 3: the problem is separable, so the
+/// optimal integral allocation is `c_t = max(ceil(w_t/θ), min_nodes)`.
+///
+/// ```
+/// use rpas_core::plan_point;
+/// let plan = plan_point(&[30.0, 90.0, 150.0], 60.0, 1);
+/// assert_eq!(plan.as_slice(), &[1, 2, 3]);
+/// assert_eq!(plan.total_nodes(), 6);
+/// ```
+///
+/// # Panics
+/// Panics if `theta <= 0` or any workload is negative/non-finite.
+pub fn plan_point(workload: &[f64], theta: f64, min_nodes: u32) -> CapacityPlan {
+    assert!(theta > 0.0, "theta must be positive");
+    CapacityPlan::new(
+        workload
+            .iter()
+            .map(|&w| {
+                assert!(w.is_finite() && w >= 0.0, "invalid workload {w}");
+                rpas_metrics::provisioning::required_nodes(w, theta, min_nodes)
+            })
+            .collect(),
+    )
+}
+
+/// The same optimization routed through the simplex solver — the paper's
+/// "solved using standard linear programming solvers" path. The LP
+/// relaxation is solved and then rounded up to integral nodes; because the
+/// constraint matrix is diagonal the rounding preserves optimality.
+///
+/// # Panics
+/// Panics if the LP solver fails (cannot happen for valid inputs: the
+/// covering problem is always feasible and bounded).
+pub fn plan_point_lp(workload: &[f64], theta: f64, min_nodes: u32) -> CapacityPlan {
+    assert!(theta > 0.0, "theta must be positive");
+    if workload.is_empty() {
+        return CapacityPlan::new(Vec::new());
+    }
+    let h = workload.len();
+    let mut p = LpProblem::minimize(vec![1.0; h]);
+    for (t, &w) in workload.iter().enumerate() {
+        assert!(w.is_finite() && w >= 0.0, "invalid workload {w}");
+        let mut row = vec![0.0; h];
+        row[t] = theta;
+        p = p.constraint(row, Relation::Ge, w);
+    }
+    let sol = solve(&p).expect("covering LP is always feasible and bounded");
+    CapacityPlan::new(
+        sol.x
+            .iter()
+            .map(|&c| {
+                // Guard against −1e-12 style numerical dust before ceiling.
+                let c = c.max(0.0);
+                ((c - 1e-9).ceil().max(0.0) as u32).max(min_nodes)
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_form_is_ceiling() {
+        let p = plan_point(&[0.0, 59.9, 60.0, 60.1, 240.0], 60.0, 1);
+        assert_eq!(p.as_slice(), &[1, 1, 1, 2, 4]);
+        assert_eq!(p.total_nodes(), 9);
+    }
+
+    #[test]
+    fn min_nodes_floor_applies() {
+        let p = plan_point(&[0.0, 10.0], 60.0, 3);
+        assert_eq!(p.as_slice(), &[3, 3]);
+    }
+
+    #[test]
+    fn lp_matches_closed_form() {
+        let w = [30.5, 75.0, 120.0, 0.0, 299.9, 61.0];
+        let a = plan_point(&w, 60.0, 1);
+        let b = plan_point_lp(&w, 60.0, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lp_handles_exact_multiples() {
+        // w = kθ exactly: LP gives k precisely; ceiling must not bump to k+1.
+        let w = [60.0, 120.0, 180.0];
+        let p = plan_point_lp(&w, 60.0, 1);
+        assert_eq!(p.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_horizon() {
+        assert!(plan_point(&[], 60.0, 1).is_empty());
+        assert!(plan_point_lp(&[], 60.0, 1).is_empty());
+    }
+
+    #[test]
+    fn max_with_combines() {
+        let a = CapacityPlan::new(vec![1, 5, 2]);
+        let b = CapacityPlan::new(vec![3, 1, 2]);
+        assert_eq!(a.max_with(&b).as_slice(), &[3, 5, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be positive")]
+    fn rejects_bad_theta() {
+        plan_point(&[1.0], 0.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid workload")]
+    fn rejects_negative_workload() {
+        plan_point(&[-1.0], 60.0, 1);
+    }
+}

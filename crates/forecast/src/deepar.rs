@@ -1,0 +1,359 @@
+//! DeepAR-style probabilistic forecaster (Salinas et al.): an
+//! autoregressive GRU that emits Student-t parameters at every step, trained
+//! with teacher forcing on the negative log-likelihood, and forecast by
+//! ancestral sampling — Monte-Carlo paths whose empirical quantiles become
+//! the quantile forecast.
+//!
+//! Two behaviours the paper leans on fall directly out of this design:
+//!
+//! * inference is comparatively **slow** (Table II) because quantiles need
+//!   many sampled paths;
+//! * accuracy **degrades with horizon** (Fig. 8) because multi-step
+//!   forecasts are produced iteratively and errors accumulate.
+
+use crate::types::{validate_levels, ForecastError, Forecaster, PointForecaster, QuantileForecast};
+use rpas_nn::loss::{student_t_nll, NU_OFFSET, SIGMA_FLOOR};
+use rpas_nn::{Adam, Dense, GruCell, Layer};
+use rpas_traces::WindowDataset;
+use rpas_tsmath::special::softplus;
+use rpas_tsmath::stats;
+use rpas_tsmath::{rng, Distribution, Matrix, StudentT};
+
+/// DeepAR configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeepArConfig {
+    /// Context length used at forecast time (steps).
+    pub context: usize,
+    /// Window length used during training (context + horizon is typical).
+    pub train_window: usize,
+    /// GRU hidden size.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Windows sampled per epoch.
+    pub windows_per_epoch: usize,
+    /// Monte-Carlo sample paths for quantile estimation.
+    pub num_samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DeepArConfig {
+    fn default() -> Self {
+        Self {
+            context: 72,
+            train_window: 144,
+            hidden: 32,
+            epochs: 20,
+            lr: 1e-3,
+            windows_per_epoch: 96,
+            num_samples: 100,
+            seed: 0,
+        }
+    }
+}
+
+/// DeepAR-style forecaster.
+pub struct DeepAr {
+    cfg: DeepArConfig,
+    gru: Option<GruCell>,
+    head: Option<Dense>,
+}
+
+/// Per-window affine scaling (GluonTS-style): each window is z-scored by
+/// its *own* context mean and std, so the network sees level-free,
+/// unit-variance inputs — this is what lets DeepAR track level shifts that
+/// a global z-score cannot, without crushing the signal's dynamic range.
+fn window_scale(context: &[f64]) -> (f64, f64) {
+    let m = stats::mean(context);
+    let sd = stats::std_dev(context);
+    let sd = if sd.is_nan() || sd < 1e-6 { 1e-6 } else { sd };
+    (m, sd)
+}
+
+impl DeepAr {
+    /// New unfitted model.
+    ///
+    /// # Panics
+    /// Panics on degenerate config.
+    pub fn new(cfg: DeepArConfig) -> Self {
+        assert!(cfg.context > 1 && cfg.train_window > 2, "degenerate window spec");
+        assert!(cfg.hidden > 0 && cfg.num_samples > 0, "degenerate model spec");
+        Self { cfg, gru: None, head: None }
+    }
+
+    /// Borrow the config.
+    pub fn config(&self) -> &DeepArConfig {
+        &self.cfg
+    }
+
+    fn dist_from(out: &[f64]) -> StudentT {
+        StudentT::new(out[0], softplus(out[1]) + SIGMA_FLOOR, NU_OFFSET + softplus(out[2]))
+    }
+
+    /// Run the context through the network, returning the final hidden
+    /// state (inference only, no caches).
+    fn encode(&self, gru: &GruCell, zctx: &[f64]) -> Vec<f64> {
+        let mut h = gru.init_state();
+        for t in 1..zctx.len() {
+            h = gru.apply(&[zctx[t - 1]], &h);
+        }
+        h
+    }
+}
+
+impl DeepAr {
+    /// Snapshot the trained weights (None until fitted). Restore with
+    /// [`DeepAr::import_weights`] on a model built from the same config.
+    pub fn export_weights(&mut self) -> Option<Vec<u8>> {
+        let (gru, head) = (self.gru.as_mut()?, self.head.as_mut()?);
+        Some(rpas_nn::save_weights(&mut [gru, head], &[]).to_vec())
+    }
+
+    /// Restore weights exported by [`DeepAr::export_weights`]; the model
+    /// becomes ready to forecast without calling `fit`.
+    ///
+    /// # Errors
+    /// Fails when the snapshot does not match this config's architecture.
+    pub fn import_weights(&mut self, data: &[u8]) -> Result<(), ForecastError> {
+        let mut r = rng::seeded(self.cfg.seed);
+        let mut gru = GruCell::new(1, self.cfg.hidden, &mut r);
+        let mut head = Dense::new(self.cfg.hidden, 3, &mut r);
+        rpas_nn::load_weights(&mut [&mut gru, &mut head], data)
+            .map_err(|e| ForecastError::InvalidConfig(format!("weight snapshot: {e}")))?;
+        self.gru = Some(gru);
+        self.head = Some(head);
+        Ok(())
+    }
+}
+
+impl Forecaster for DeepAr {
+    fn name(&self) -> &'static str {
+        "deepar"
+    }
+
+    fn fit(&mut self, series: &[f64]) -> Result<(), ForecastError> {
+        let c = self.cfg.clone();
+        let needed = c.train_window + 1;
+        if series.len() < needed {
+            return Err(ForecastError::SeriesTooShort { needed, got: series.len() });
+        }
+        // Window dataset over the raw series; each sampled window is
+        // rescaled by its own context mean (see `window_scale`). The
+        // "target" split is irrelevant here (teacher forcing over the
+        // whole window), so use a 1-step target just to get positions.
+        let ds = WindowDataset::new(series, c.train_window, 1);
+
+        let mut r = rng::seeded(c.seed);
+        let mut gru = GruCell::new(1, c.hidden, &mut r);
+        let mut head = Dense::new(c.hidden, 3, &mut r);
+        let mut opt = Adam::new(c.lr);
+
+        for _epoch in 0..c.epochs {
+            for _ in 0..c.windows_per_epoch {
+                let idx = (rng::uniform_open(&mut r) * ds.len() as f64) as usize;
+                let (raw_win, _) = ds.example(idx.min(ds.len() - 1));
+                let (m, sd) = window_scale(&raw_win[..c.context.min(raw_win.len())]);
+                let win: Vec<f64> = raw_win.iter().map(|v| (v - m) / sd).collect();
+                let steps = win.len() - 1;
+
+                // Teacher-forced forward pass.
+                let mut h = gru.init_state();
+                let mut d_outs: Vec<[f64; 3]> = Vec::with_capacity(steps);
+                for t in 1..win.len() {
+                    h = gru.forward(&[win[t - 1]], &h);
+                    let out = head.forward(&h);
+                    let (_, dmu, dsr, dnr) = student_t_nll(out[0], out[1], out[2], win[t]);
+                    let s = 1.0 / steps as f64;
+                    d_outs.push([dmu * s, dsr * s, dnr * s]);
+                }
+
+                // BPTT in reverse.
+                let mut dh_next = vec![0.0; c.hidden];
+                for d in d_outs.iter().rev() {
+                    let mut dh = head.backward(&d[..]);
+                    for (a, b) in dh.iter_mut().zip(&dh_next) {
+                        *a += b;
+                    }
+                    let (_dx, dh_prev) = gru.backward(&dh);
+                    dh_next = dh_prev;
+                }
+
+                gru.clip_grad_norm(5.0);
+                head.clip_grad_norm(5.0);
+                opt.begin_step();
+                gru.visit_params(&mut |p| opt.update(p));
+                head.visit_params(&mut |p| opt.update(p));
+                gru.zero_grad();
+                head.zero_grad();
+            }
+        }
+
+        self.gru = Some(gru);
+        self.head = Some(head);
+        Ok(())
+    }
+
+    fn forecast_quantiles(
+        &self,
+        context: &[f64],
+        horizon: usize,
+        levels: &[f64],
+    ) -> Result<QuantileForecast, ForecastError> {
+        validate_levels(levels)?;
+        let gru = self.gru.as_ref().ok_or(ForecastError::NotFitted)?;
+        let head = self.head.as_ref().ok_or(ForecastError::NotFitted)?;
+        if context.len() < 2 {
+            return Err(ForecastError::SeriesTooShort { needed: 2, got: context.len() });
+        }
+
+        let ctx = if context.len() > self.cfg.context {
+            &context[context.len() - self.cfg.context..]
+        } else {
+            context
+        };
+        let (m, sd) = window_scale(ctx);
+        let zctx: Vec<f64> = ctx.iter().map(|v| (v - m) / sd).collect();
+        let h0 = self.encode(gru, &zctx);
+        let last = *zctx.last().expect("non-empty context");
+
+        // Ancestral sampling: deterministic per (model seed, context hash).
+        let mut r = rng::seeded(rng::child_seed(self.cfg.seed, 0x5a5a));
+        let n = self.cfg.num_samples;
+        let mut paths = Matrix::zeros(n, horizon);
+        for s in 0..n {
+            let mut h = h0.clone();
+            let mut prev = last;
+            for t in 0..horizon {
+                h = gru.apply(&[prev], &h);
+                let out = head.apply(&h);
+                let z = Self::dist_from(&out).sample(&mut r);
+                paths[(s, t)] = z;
+                prev = z;
+            }
+        }
+
+        let mut values = Matrix::zeros(horizon, levels.len());
+        for t in 0..horizon {
+            let col = paths.col(t);
+            for (i, &l) in levels.iter().enumerate() {
+                values[(t, i)] = stats::quantile(&col, l) * sd + m;
+            }
+        }
+        Ok(QuantileForecast::new(levels.to_vec(), values))
+    }
+}
+
+impl PointForecaster for DeepAr {
+    fn name(&self) -> &'static str {
+        "deepar"
+    }
+
+    fn fit(&mut self, series: &[f64]) -> Result<(), ForecastError> {
+        Forecaster::fit(self, series)
+    }
+
+    fn forecast(&self, context: &[f64], horizon: usize) -> Result<Vec<f64>, ForecastError> {
+        Ok(self.forecast_quantiles(context, horizon, &[0.5])?.median())
+    }
+}
+
+impl crate::types::ErrorFeedback for DeepAr {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpas_tsmath::rng::{seeded, standard_normal};
+
+    fn tiny_cfg() -> DeepArConfig {
+        DeepArConfig {
+            context: 12,
+            train_window: 24,
+            hidden: 12,
+            epochs: 30,
+            lr: 5e-3,
+            windows_per_epoch: 32,
+            num_samples: 60,
+            seed: 3,
+        }
+    }
+
+    fn sine_series(n: usize, noise: f64, seed: u64) -> Vec<f64> {
+        let mut r = seeded(seed);
+        (0..n)
+            .map(|t| {
+                50.0 + 10.0 * (2.0 * std::f64::consts::PI * t as f64 / 12.0).sin()
+                    + noise * standard_normal(&mut r)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_short_horizon_sinusoid() {
+        let series = sine_series(600, 0.8, 1);
+        let mut m = DeepAr::new(tiny_cfg());
+        Forecaster::fit(&mut m, &series).unwrap();
+        let ctx = &series[240..252];
+        let f = PointForecaster::forecast(&m, ctx, 2).unwrap();
+        for (h, &v) in f.iter().enumerate() {
+            let truth = 50.0 + 10.0 * (2.0 * std::f64::consts::PI * (252 + h) as f64 / 12.0).sin();
+            assert!((v - truth).abs() < 6.0, "h={h}: {v} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_widen() {
+        let series = sine_series(500, 1.5, 2);
+        let mut m = DeepAr::new(tiny_cfg());
+        Forecaster::fit(&mut m, &series).unwrap();
+        let f = m.forecast_quantiles(&series[120..132], 8, &[0.1, 0.5, 0.9]).unwrap();
+        assert!(f.is_monotone());
+        // Iterative sampling accumulates variance: width grows with h.
+        let w0 = f.at(0, 0.9) - f.at(0, 0.1);
+        let w7 = f.at(7, 0.9) - f.at(7, 0.1);
+        assert!(w7 >= w0 * 0.8, "w0={w0} w7={w7}"); // allow noise, but no collapse
+        assert!(w0 > 0.0);
+    }
+
+    #[test]
+    fn forecast_is_deterministic_for_fixed_seed() {
+        let series = sine_series(400, 1.0, 3);
+        let mut m = DeepAr::new(tiny_cfg());
+        Forecaster::fit(&mut m, &series).unwrap();
+        let a = m.forecast_quantiles(&series[..24], 4, &[0.5]).unwrap();
+        let b = m.forecast_quantiles(&series[..24], 4, &[0.5]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn any_quantile_level_available_after_training() {
+        // The parametric/sampling family can produce arbitrary levels
+        // without retraining (§III-B) — ask for unusual ones.
+        let series = sine_series(400, 1.0, 4);
+        let mut m = DeepAr::new(tiny_cfg());
+        Forecaster::fit(&mut m, &series).unwrap();
+        let f = m.forecast_quantiles(&series[..24], 3, &[0.123, 0.456, 0.987]).unwrap();
+        assert_eq!(f.levels(), &[0.123, 0.456, 0.987]);
+        assert!(f.is_monotone());
+    }
+
+    #[test]
+    fn unfitted_rejected() {
+        let m = DeepAr::new(tiny_cfg());
+        assert_eq!(
+            m.forecast_quantiles(&[1.0; 12], 2, &[0.5]).unwrap_err(),
+            ForecastError::NotFitted
+        );
+    }
+
+    #[test]
+    fn short_series_rejected() {
+        let mut m = DeepAr::new(tiny_cfg());
+        assert!(matches!(
+            Forecaster::fit(&mut m, &[1.0; 20]).unwrap_err(),
+            ForecastError::SeriesTooShort { .. }
+        ));
+    }
+}

@@ -1,0 +1,53 @@
+//! # rpas-forecast
+//!
+//! Probabilistic workload forecasters — phase ① of the paper's framework.
+//!
+//! Two methodological families are implemented, mirroring §III-B:
+//!
+//! * **Learn parametric distributions** — [`mlp::MlpProb`] (feed-forward,
+//!   Gaussian or Student-t head) and [`deepar::DeepAr`] (autoregressive GRU,
+//!   Student-t head, Monte-Carlo quantiles). Any quantile level can be read
+//!   off the learned distribution after training.
+//! * **Learn a pre-specified grid of quantiles** — [`tft::Tft`] (simplified
+//!   Temporal Fusion Transformer trained with summed pinball loss). Levels
+//!   outside the trained grid are interpolated.
+//!
+//! Baselines: [`arima::Arima`] (Hannan–Rissanen fit, residual-variance
+//! quantiles), [`naive`] reference models, [`qb5000::Qb5000`] (hybrid point
+//! forecaster after QueryBot 5000), and the CloudScale-style
+//! [`padding::PaddedForecaster`] enhancement.
+
+#![warn(missing_docs)]
+
+pub mod arima;
+pub mod deepar;
+pub mod eval;
+pub mod holt_winters;
+pub mod mlp;
+pub mod mlp_quantile;
+pub mod naive;
+pub mod padding;
+pub mod qb5000;
+pub mod tft;
+pub mod types;
+
+pub use arima::{Arima, ArimaConfig};
+pub use deepar::{DeepAr, DeepArConfig};
+pub use eval::{evaluate_point, evaluate_quantile, PointEvalReport, QuantileEvalReport};
+pub use holt_winters::{HoltWinters, HoltWintersConfig};
+pub use mlp::{DistKind, MlpProb, MlpProbConfig};
+pub use mlp_quantile::{MlpQuantile, MlpQuantileConfig};
+pub use naive::{LastValue, SeasonalNaive};
+pub use padding::PaddedForecaster;
+pub use qb5000::{Qb5000, Qb5000Config};
+pub use tft::{Tft, TftConfig};
+pub use types::{
+    ErrorFeedback, ForecastError, Forecaster, PointForecaster, PointFromQuantile, QuantileForecast,
+};
+
+/// The paper's standard evaluation grid `A = {0.1, …, 0.9}` (§IV-B).
+pub const EVAL_LEVELS: [f64; 9] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+
+/// The scaling-oriented grid `A = {0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99}`
+/// used when training quantile forecasters for auto-scaling (§IV-C).
+pub const SCALING_LEVELS: [f64; 7] = [0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99];

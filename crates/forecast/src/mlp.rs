@@ -1,0 +1,349 @@
+//! Feed-forward probabilistic forecaster: a direct multi-horizon MLP whose
+//! output layer emits distribution parameters per future step ("learn
+//! parametric distributions", Fig. 3a of the paper).
+//!
+//! The network maps a standardized context window to `(μ_h, σ_h^raw)` — or
+//! `(μ_h, σ_h^raw, ν_h^raw)` for a Student-t head — for every horizon step
+//! `h`, and trains by minimising the negative log-likelihood. Quantiles are
+//! then read analytically from the learned distribution, which is what
+//! gives this family its flexibility in choosing quantile levels after
+//! training (§III-B "Pros, Cons & Selection Criteria").
+
+use crate::types::{validate_levels, ForecastError, Forecaster, PointForecaster, QuantileForecast};
+use rpas_nn::loss::{gaussian_nll, student_t_nll, NU_OFFSET, SIGMA_FLOOR};
+use rpas_nn::{Activation, Adam, Layer, Mlp};
+use rpas_traces::WindowDataset;
+use rpas_tsmath::special::softplus;
+use rpas_tsmath::stats::Standardizer;
+use rpas_tsmath::{rng, Distribution, Matrix, Normal, StudentT};
+
+/// Which parametric family the output head emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistKind {
+    /// Gaussian `(μ, σ)` head.
+    Gaussian,
+    /// Student-t `(μ, σ, ν)` head — the paper's choice for its longer
+    /// tails ("better handle outliers and noise", §III-B).
+    StudentT,
+}
+
+/// MLP forecaster configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpProbConfig {
+    /// Input context length (steps).
+    pub context: usize,
+    /// Maximum forecast horizon (steps); the head is sized for this.
+    pub horizon: usize,
+    /// Hidden-layer widths.
+    pub hidden: Vec<usize>,
+    /// Output distribution family.
+    pub dist: DistKind,
+    /// Training epochs over the window dataset.
+    pub epochs: usize,
+    /// Adam learning rate (the paper fixes 1e-3).
+    pub lr: f64,
+    /// Windows sampled per epoch (bounds training cost on long traces).
+    pub windows_per_epoch: usize,
+    /// RNG seed for init and window sampling.
+    pub seed: u64,
+}
+
+impl Default for MlpProbConfig {
+    fn default() -> Self {
+        Self {
+            context: 72,
+            horizon: 72,
+            hidden: vec![64, 64],
+            dist: DistKind::StudentT,
+            epochs: 30,
+            lr: 1e-3,
+            windows_per_epoch: 128,
+            seed: 0,
+        }
+    }
+}
+
+/// Feed-forward probabilistic forecaster.
+pub struct MlpProb {
+    cfg: MlpProbConfig,
+    params_per_step: usize,
+    net: Option<Mlp>,
+    scaler: Option<Standardizer>,
+}
+
+impl MlpProb {
+    /// New unfitted model.
+    ///
+    /// # Panics
+    /// Panics on degenerate config (zero context/horizon/epochs).
+    pub fn new(cfg: MlpProbConfig) -> Self {
+        assert!(cfg.context > 0 && cfg.horizon > 0, "degenerate window spec");
+        assert!(cfg.epochs > 0 && cfg.windows_per_epoch > 0, "degenerate training spec");
+        let params_per_step = match cfg.dist {
+            DistKind::Gaussian => 2,
+            DistKind::StudentT => 3,
+        };
+        Self { cfg, params_per_step, net: None, scaler: None }
+    }
+
+    /// Borrow the config.
+    pub fn config(&self) -> &MlpProbConfig {
+        &self.cfg
+    }
+
+    /// Per-step distribution for the head outputs at step `h` (z-scores).
+    fn step_distribution(&self, out: &[f64], h: usize) -> Box<dyn Distribution> {
+        let k = self.params_per_step;
+        let mu = out[h * k];
+        let sigma = softplus(out[h * k + 1]) + SIGMA_FLOOR;
+        match self.cfg.dist {
+            DistKind::Gaussian => Box::new(Normal::new(mu, sigma)),
+            DistKind::StudentT => {
+                let nu = NU_OFFSET + softplus(out[h * k + 2]);
+                Box::new(StudentT::new(mu, sigma, nu))
+            }
+        }
+    }
+}
+
+impl MlpProb {
+    /// Snapshot the trained weights and input scaler (None until fitted).
+    pub fn export_weights(&mut self) -> Option<Vec<u8>> {
+        let scaler = self.scaler?;
+        let net = self.net.as_mut()?;
+        Some(rpas_nn::save_weights(&mut [net], &[scaler.mean, scaler.std]).to_vec())
+    }
+
+    /// Restore weights exported by [`MlpProb::export_weights`].
+    ///
+    /// # Errors
+    /// Fails when the snapshot does not match this config's architecture.
+    pub fn import_weights(&mut self, data: &[u8]) -> Result<(), ForecastError> {
+        let c = &self.cfg;
+        let mut r = rng::seeded(c.seed);
+        let mut widths = vec![c.context];
+        widths.extend_from_slice(&c.hidden);
+        widths.push(c.horizon * self.params_per_step);
+        let mut net = Mlp::new(&widths, Activation::Relu, &mut r);
+        let extras = rpas_nn::load_weights(&mut [&mut net], data)
+            .map_err(|e| ForecastError::InvalidConfig(format!("weight snapshot: {e}")))?;
+        if extras.len() != 2 {
+            return Err(ForecastError::InvalidConfig("snapshot missing scaler".into()));
+        }
+        self.net = Some(net);
+        self.scaler = Some(Standardizer { mean: extras[0], std: extras[1] });
+        Ok(())
+    }
+}
+
+impl Forecaster for MlpProb {
+    fn name(&self) -> &'static str {
+        "mlp"
+    }
+
+    fn fit(&mut self, series: &[f64]) -> Result<(), ForecastError> {
+        let c = &self.cfg;
+        let needed = c.context + c.horizon + 1;
+        if series.len() < needed {
+            return Err(ForecastError::SeriesTooShort { needed, got: series.len() });
+        }
+        let scaler = Standardizer::fit(series);
+        let z = scaler.transform_vec(series);
+        let ds = WindowDataset::new(&z, c.context, c.horizon);
+
+        let mut r = rng::seeded(c.seed);
+        let mut widths = vec![c.context];
+        widths.extend_from_slice(&c.hidden);
+        widths.push(c.horizon * self.params_per_step);
+        let mut net = Mlp::new(&widths, Activation::Relu, &mut r);
+        let mut opt = Adam::new(c.lr);
+
+        let k = self.params_per_step;
+        for _epoch in 0..c.epochs {
+            for _ in 0..c.windows_per_epoch {
+                let idx = (rng::uniform_open(&mut r) * ds.len() as f64) as usize;
+                let (ctx, tgt) = ds.example(idx.min(ds.len() - 1));
+                let out = net.forward(ctx);
+                let mut dout = vec![0.0; out.len()];
+                for (h, &y) in tgt.iter().enumerate() {
+                    match c.dist {
+                        DistKind::Gaussian => {
+                            let (_, dmu, dsr) = gaussian_nll(out[h * k], out[h * k + 1], y);
+                            dout[h * k] = dmu / c.horizon as f64;
+                            dout[h * k + 1] = dsr / c.horizon as f64;
+                        }
+                        DistKind::StudentT => {
+                            let (_, dmu, dsr, dnr) =
+                                student_t_nll(out[h * k], out[h * k + 1], out[h * k + 2], y);
+                            dout[h * k] = dmu / c.horizon as f64;
+                            dout[h * k + 1] = dsr / c.horizon as f64;
+                            dout[h * k + 2] = dnr / c.horizon as f64;
+                        }
+                    }
+                }
+                let _ = net.backward(&dout);
+                net.clip_grad_norm(5.0);
+                opt.step_layer(&mut net);
+            }
+        }
+
+        self.net = Some(net);
+        self.scaler = Some(scaler);
+        Ok(())
+    }
+
+    fn forecast_quantiles(
+        &self,
+        context: &[f64],
+        horizon: usize,
+        levels: &[f64],
+    ) -> Result<QuantileForecast, ForecastError> {
+        validate_levels(levels)?;
+        let net = self.net.as_ref().ok_or(ForecastError::NotFitted)?;
+        let scaler = self.scaler.as_ref().ok_or(ForecastError::NotFitted)?;
+        if horizon > self.cfg.horizon {
+            return Err(ForecastError::HorizonTooLong { max: self.cfg.horizon, requested: horizon });
+        }
+        if context.len() < self.cfg.context {
+            return Err(ForecastError::SeriesTooShort {
+                needed: self.cfg.context,
+                got: context.len(),
+            });
+        }
+        let ctx = &context[context.len() - self.cfg.context..];
+        let zctx = scaler.transform_vec(ctx);
+        let out = net.apply(&zctx);
+
+        let mut values = Matrix::zeros(horizon, levels.len());
+        for h in 0..horizon {
+            let dist = self.step_distribution(&out, h);
+            for (i, &l) in levels.iter().enumerate() {
+                values[(h, i)] = scaler.inverse(dist.quantile(l));
+            }
+        }
+        Ok(QuantileForecast::new(levels.to_vec(), values))
+    }
+}
+
+impl PointForecaster for MlpProb {
+    fn name(&self) -> &'static str {
+        "mlp"
+    }
+
+    fn fit(&mut self, series: &[f64]) -> Result<(), ForecastError> {
+        Forecaster::fit(self, series)
+    }
+
+    fn forecast(&self, context: &[f64], horizon: usize) -> Result<Vec<f64>, ForecastError> {
+        Ok(self.forecast_quantiles(context, horizon, &[0.5])?.median())
+    }
+}
+
+impl crate::types::ErrorFeedback for MlpProb {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpas_tsmath::rng::{seeded, standard_normal};
+
+    fn tiny_cfg() -> MlpProbConfig {
+        MlpProbConfig {
+            context: 12,
+            horizon: 4,
+            hidden: vec![16],
+            epochs: 60,
+            lr: 5e-3,
+            windows_per_epoch: 32,
+            seed: 7,
+            dist: DistKind::Gaussian,
+        }
+    }
+
+    /// Noisy sinusoid, period 12.
+    fn sine_series(n: usize, noise: f64, seed: u64) -> Vec<f64> {
+        let mut r = seeded(seed);
+        (0..n)
+            .map(|t| {
+                100.0
+                    + 20.0 * (2.0 * std::f64::consts::PI * t as f64 / 12.0).sin()
+                    + noise * standard_normal(&mut r)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_sinusoid_median() {
+        let series = sine_series(600, 1.0, 1);
+        let mut m = MlpProb::new(tiny_cfg());
+        Forecaster::fit(&mut m, &series).unwrap();
+        // Forecast from a context ending mid-series; compare to the truth.
+        let ctx = &series[300..312];
+        let f = m.forecast_quantiles(ctx, 4, &[0.5]).unwrap();
+        let med = f.median();
+        for (h, &v) in med.iter().enumerate() {
+            let truth = 100.0 + 20.0 * (2.0 * std::f64::consts::PI * (312 + h) as f64 / 12.0).sin();
+            assert!((v - truth).abs() < 8.0, "h={h}: {v} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn interval_covers_noise() {
+        let series = sine_series(600, 3.0, 2);
+        let mut m = MlpProb::new(tiny_cfg());
+        Forecaster::fit(&mut m, &series).unwrap();
+        let f = m.forecast_quantiles(&series[288..300], 4, &[0.1, 0.9]).unwrap();
+        // The 80% interval must have meaningful width (noise σ=3).
+        for h in 0..4 {
+            let w = f.at(h, 0.9) - f.at(h, 0.1);
+            assert!(w > 2.0, "interval too narrow at h={h}: {w}");
+            assert!(w < 60.0, "interval absurdly wide at h={h}: {w}");
+        }
+    }
+
+    #[test]
+    fn student_t_head_works() {
+        let series = sine_series(400, 2.0, 3);
+        let mut m = MlpProb::new(MlpProbConfig { dist: DistKind::StudentT, ..tiny_cfg() });
+        Forecaster::fit(&mut m, &series).unwrap();
+        let f = m.forecast_quantiles(&series[..12], 4, &[0.1, 0.5, 0.9]).unwrap();
+        assert!(f.is_monotone());
+        assert!(f.median().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn longer_context_is_truncated_from_the_left() {
+        let series = sine_series(400, 1.0, 4);
+        let mut m = MlpProb::new(tiny_cfg());
+        Forecaster::fit(&mut m, &series).unwrap();
+        let f_full = m.forecast_quantiles(&series[..50], 2, &[0.5]).unwrap();
+        let f_tail = m.forecast_quantiles(&series[38..50], 2, &[0.5]).unwrap();
+        assert_eq!(f_full.median(), f_tail.median());
+    }
+
+    #[test]
+    fn horizon_beyond_trained_is_rejected() {
+        let series = sine_series(400, 1.0, 5);
+        let mut m = MlpProb::new(tiny_cfg());
+        Forecaster::fit(&mut m, &series).unwrap();
+        assert!(matches!(
+            m.forecast_quantiles(&series[..12], 5, &[0.5]).unwrap_err(),
+            ForecastError::HorizonTooLong { max: 4, requested: 5 }
+        ));
+    }
+
+    #[test]
+    fn unfitted_and_short_inputs_error() {
+        let m = MlpProb::new(tiny_cfg());
+        assert_eq!(
+            m.forecast_quantiles(&[0.0; 12], 2, &[0.5]).unwrap_err(),
+            ForecastError::NotFitted
+        );
+        let mut m = MlpProb::new(tiny_cfg());
+        assert!(Forecaster::fit(&mut m, &[1.0; 10]).is_err());
+        Forecaster::fit(&mut m, &sine_series(200, 1.0, 6)).unwrap();
+        assert!(matches!(
+            m.forecast_quantiles(&[1.0; 5], 2, &[0.5]).unwrap_err(),
+            ForecastError::SeriesTooShort { .. }
+        ));
+    }
+}

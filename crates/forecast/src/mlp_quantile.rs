@@ -1,0 +1,313 @@
+//! Quantile-regression MLP: the "learn a pre-specified grid of quantiles"
+//! methodology (§III-B, Fig. 3b) realised with the *simplest* architecture
+//! — a feed-forward network whose head emits one value per (horizon step,
+//! quantile level), trained with the summed pinball loss of Eq. 2.
+//!
+//! The paper names classical quantile regression as the baseline
+//! implementation of quantile workload forecasting; this model is that
+//! idea with a neural basis, and doubles as an ablation partner for the
+//! TFT: same loss and output grid, no recurrence or attention. The
+//! `forecasters` Criterion bench and the `ablation_grid` experiment binary
+//! compare them.
+
+use crate::types::{validate_levels, ForecastError, Forecaster, PointForecaster, QuantileForecast};
+use rpas_nn::loss::pinball_grid;
+use rpas_nn::{Activation, Adam, Layer, Mlp};
+use rpas_traces::WindowDataset;
+use rpas_tsmath::stats::Standardizer;
+use rpas_tsmath::{rng, Matrix};
+
+/// Quantile-regression MLP configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpQuantileConfig {
+    /// Context length (steps).
+    pub context: usize,
+    /// Maximum forecast horizon (steps).
+    pub horizon: usize,
+    /// Hidden-layer widths.
+    pub hidden: Vec<usize>,
+    /// The trained quantile grid (strictly increasing, in `(0,1)`).
+    pub quantiles: Vec<f64>,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Windows sampled per epoch.
+    pub windows_per_epoch: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MlpQuantileConfig {
+    fn default() -> Self {
+        Self {
+            context: 72,
+            horizon: 72,
+            hidden: vec![64, 64],
+            quantiles: crate::EVAL_LEVELS.to_vec(),
+            epochs: 40,
+            lr: 1e-3,
+            windows_per_epoch: 128,
+            seed: 0,
+        }
+    }
+}
+
+/// Feed-forward quantile-grid forecaster.
+pub struct MlpQuantile {
+    cfg: MlpQuantileConfig,
+    net: Option<Mlp>,
+    scaler: Option<Standardizer>,
+}
+
+impl MlpQuantile {
+    /// New unfitted model.
+    ///
+    /// # Panics
+    /// Panics on degenerate configs (empty/unsorted grid, zero sizes).
+    pub fn new(cfg: MlpQuantileConfig) -> Self {
+        assert!(cfg.context > 0 && cfg.horizon > 0, "degenerate window spec");
+        assert!(
+            !cfg.quantiles.is_empty() && cfg.quantiles.windows(2).all(|w| w[0] < w[1]),
+            "quantile grid must be non-empty and strictly increasing"
+        );
+        assert!(cfg.quantiles.iter().all(|&q| q > 0.0 && q < 1.0), "grid levels must be in (0,1)");
+        Self { cfg, net: None, scaler: None }
+    }
+
+    /// Borrow the config.
+    pub fn config(&self) -> &MlpQuantileConfig {
+        &self.cfg
+    }
+
+    /// Trained quantile grid.
+    pub fn grid(&self) -> &[f64] {
+        &self.cfg.quantiles
+    }
+
+    fn widths(cfg: &MlpQuantileConfig) -> Vec<usize> {
+        let mut w = vec![cfg.context];
+        w.extend_from_slice(&cfg.hidden);
+        w.push(cfg.horizon * cfg.quantiles.len());
+        w
+    }
+
+    /// Snapshot the trained weights and input scaler (None until fitted).
+    pub fn export_weights(&mut self) -> Option<Vec<u8>> {
+        let scaler = self.scaler?;
+        let net = self.net.as_mut()?;
+        Some(rpas_nn::save_weights(&mut [net], &[scaler.mean, scaler.std]).to_vec())
+    }
+
+    /// Restore weights exported by [`MlpQuantile::export_weights`].
+    ///
+    /// # Errors
+    /// Fails when the snapshot does not match this config's architecture.
+    pub fn import_weights(&mut self, data: &[u8]) -> Result<(), ForecastError> {
+        let mut r = rng::seeded(self.cfg.seed);
+        let mut net = Mlp::new(&Self::widths(&self.cfg), Activation::Relu, &mut r);
+        let extras = rpas_nn::load_weights(&mut [&mut net], data)
+            .map_err(|e| ForecastError::InvalidConfig(format!("weight snapshot: {e}")))?;
+        if extras.len() != 2 {
+            return Err(ForecastError::InvalidConfig("snapshot missing scaler".into()));
+        }
+        self.net = Some(net);
+        self.scaler = Some(Standardizer { mean: extras[0], std: extras[1] });
+        Ok(())
+    }
+}
+
+impl Forecaster for MlpQuantile {
+    fn name(&self) -> &'static str {
+        "mlp-quantile"
+    }
+
+    fn fit(&mut self, series: &[f64]) -> Result<(), ForecastError> {
+        let c = self.cfg.clone();
+        let needed = c.context + c.horizon + 1;
+        if series.len() < needed {
+            return Err(ForecastError::SeriesTooShort { needed, got: series.len() });
+        }
+        let scaler = Standardizer::fit(series);
+        let z = scaler.transform_vec(series);
+        let ds = WindowDataset::new(&z, c.context, c.horizon);
+
+        let mut r = rng::seeded(c.seed);
+        let mut net = Mlp::new(&Self::widths(&c), Activation::Relu, &mut r);
+        let mut opt = Adam::new(c.lr);
+        let nq = c.quantiles.len();
+
+        for _ in 0..c.epochs {
+            for _ in 0..c.windows_per_epoch {
+                let idx = (rng::uniform_open(&mut r) * ds.len() as f64) as usize;
+                let (ctx, tgt) = ds.example(idx.min(ds.len() - 1));
+                let out = net.forward(ctx);
+                let mut dout = vec![0.0; out.len()];
+                let scale = 1.0 / c.horizon as f64;
+                for (h, &y) in tgt.iter().enumerate() {
+                    let preds = &out[h * nq..(h + 1) * nq];
+                    let (_, g) = pinball_grid(preds, y, &c.quantiles);
+                    for (i, gi) in g.iter().enumerate() {
+                        dout[h * nq + i] = gi * scale;
+                    }
+                }
+                let _ = net.backward(&dout);
+                net.clip_grad_norm(5.0);
+                opt.step_layer(&mut net);
+            }
+        }
+
+        self.net = Some(net);
+        self.scaler = Some(scaler);
+        Ok(())
+    }
+
+    fn forecast_quantiles(
+        &self,
+        context: &[f64],
+        horizon: usize,
+        levels: &[f64],
+    ) -> Result<QuantileForecast, ForecastError> {
+        validate_levels(levels)?;
+        let net = self.net.as_ref().ok_or(ForecastError::NotFitted)?;
+        let scaler = self.scaler.as_ref().ok_or(ForecastError::NotFitted)?;
+        if horizon > self.cfg.horizon {
+            return Err(ForecastError::HorizonTooLong { max: self.cfg.horizon, requested: horizon });
+        }
+        if context.len() < self.cfg.context {
+            return Err(ForecastError::SeriesTooShort {
+                needed: self.cfg.context,
+                got: context.len(),
+            });
+        }
+        let ctx = &context[context.len() - self.cfg.context..];
+        let out = net.apply(&scaler.transform_vec(ctx));
+
+        let nq = self.cfg.quantiles.len();
+        let mut grid_vals = Matrix::zeros(horizon, nq);
+        for h in 0..horizon {
+            for i in 0..nq {
+                grid_vals[(h, i)] = scaler.inverse(out[h * nq + i]);
+            }
+        }
+        let grid = QuantileForecast::new(self.cfg.quantiles.clone(), grid_vals);
+        if levels == self.cfg.quantiles.as_slice() {
+            return Ok(grid);
+        }
+        let mut values = Matrix::zeros(horizon, levels.len());
+        for h in 0..horizon {
+            for (i, &l) in levels.iter().enumerate() {
+                values[(h, i)] = grid.at(h, l);
+            }
+        }
+        Ok(QuantileForecast::new(levels.to_vec(), values))
+    }
+}
+
+impl PointForecaster for MlpQuantile {
+    fn name(&self) -> &'static str {
+        "mlp-quantile"
+    }
+
+    fn fit(&mut self, series: &[f64]) -> Result<(), ForecastError> {
+        Forecaster::fit(self, series)
+    }
+
+    fn forecast(&self, context: &[f64], horizon: usize) -> Result<Vec<f64>, ForecastError> {
+        Ok(self.forecast_quantiles(context, horizon, &[0.5])?.median())
+    }
+}
+
+impl crate::types::ErrorFeedback for MlpQuantile {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpas_tsmath::rng::{seeded, standard_normal};
+
+    fn tiny_cfg() -> MlpQuantileConfig {
+        MlpQuantileConfig {
+            context: 12,
+            horizon: 4,
+            hidden: vec![24],
+            quantiles: vec![0.1, 0.5, 0.9],
+            epochs: 60,
+            lr: 5e-3,
+            windows_per_epoch: 32,
+            seed: 7,
+        }
+    }
+
+    fn sine_series(n: usize, noise: f64, seed: u64) -> Vec<f64> {
+        let mut r = seeded(seed);
+        (0..n)
+            .map(|t| {
+                90.0 + 18.0 * (2.0 * std::f64::consts::PI * t as f64 / 12.0).sin()
+                    + noise * standard_normal(&mut r)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_sinusoid_median() {
+        let series = sine_series(600, 1.0, 1);
+        let mut m = MlpQuantile::new(tiny_cfg());
+        Forecaster::fit(&mut m, &series).unwrap();
+        let med = PointForecaster::forecast(&m, &series[300..312], 4).unwrap();
+        for (h, &v) in med.iter().enumerate() {
+            let truth = 90.0 + 18.0 * (2.0 * std::f64::consts::PI * (312 + h) as f64 / 12.0).sin();
+            assert!((v - truth).abs() < 8.0, "h={h}: {v} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn pinball_training_spreads_quantiles() {
+        let series = sine_series(600, 3.0, 2);
+        let mut m = MlpQuantile::new(tiny_cfg());
+        Forecaster::fit(&mut m, &series).unwrap();
+        let f = m.forecast_quantiles(&series[120..132], 4, &[0.1, 0.9]).unwrap();
+        for h in 0..4 {
+            let w = f.at(h, 0.9) - f.at(h, 0.1);
+            assert!(w > 2.0, "no spread at h={h}: {w}");
+            assert!(w < 60.0, "absurd spread at h={h}: {w}");
+        }
+    }
+
+    #[test]
+    fn off_grid_levels_interpolate() {
+        let series = sine_series(400, 1.0, 3);
+        let mut m = MlpQuantile::new(tiny_cfg());
+        Forecaster::fit(&mut m, &series).unwrap();
+        let f = m.forecast_quantiles(&series[..12], 2, &[0.3]).unwrap();
+        let g = m.forecast_quantiles(&series[..12], 2, &[0.1, 0.5, 0.9]).unwrap();
+        for h in 0..2 {
+            assert!(f.at(h, 0.3) >= g.at(h, 0.1) - 1e-9);
+            assert!(f.at(h, 0.3) <= g.at(h, 0.5) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn weight_roundtrip() {
+        let series = sine_series(400, 1.0, 4);
+        let mut m = MlpQuantile::new(tiny_cfg());
+        Forecaster::fit(&mut m, &series).unwrap();
+        let snap = m.export_weights().unwrap();
+        let mut m2 = MlpQuantile::new(tiny_cfg());
+        m2.import_weights(&snap).unwrap();
+        assert_eq!(
+            m.forecast_quantiles(&series[..12], 4, &[0.5]).unwrap(),
+            m2.forecast_quantiles(&series[..12], 4, &[0.5]).unwrap()
+        );
+    }
+
+    #[test]
+    fn misuse_errors() {
+        let m = MlpQuantile::new(tiny_cfg());
+        assert_eq!(
+            m.forecast_quantiles(&[0.0; 12], 2, &[0.5]).unwrap_err(),
+            ForecastError::NotFitted
+        );
+        let mut m = MlpQuantile::new(tiny_cfg());
+        assert!(Forecaster::fit(&mut m, &[1.0; 10]).is_err());
+    }
+}

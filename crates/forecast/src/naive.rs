@@ -1,0 +1,211 @@
+//! Reference forecasters: last-value and seasonal-naive. These exist as
+//! sanity baselines for tests and as floor models in the evaluation — any
+//! learned model that cannot beat them is broken.
+
+use crate::types::{validate_levels, ForecastError, Forecaster, PointForecaster, QuantileForecast};
+use rpas_tsmath::special::norm_quantile;
+use rpas_tsmath::{stats, Matrix};
+
+/// Repeats the last observed value; quantiles widen with horizon using the
+/// random-walk `σ√h` law estimated from one-step differences.
+#[derive(Debug, Clone, Default)]
+pub struct LastValue {
+    sigma1: Option<f64>,
+}
+
+impl LastValue {
+    /// New unfitted model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Forecaster for LastValue {
+    fn name(&self) -> &'static str {
+        "last-value"
+    }
+
+    fn fit(&mut self, series: &[f64]) -> Result<(), ForecastError> {
+        if series.len() < 3 {
+            return Err(ForecastError::SeriesTooShort { needed: 3, got: series.len() });
+        }
+        let diffs = stats::difference(series, 1);
+        self.sigma1 = Some(stats::std_dev(&diffs).max(1e-9));
+        Ok(())
+    }
+
+    fn forecast_quantiles(
+        &self,
+        context: &[f64],
+        horizon: usize,
+        levels: &[f64],
+    ) -> Result<QuantileForecast, ForecastError> {
+        validate_levels(levels)?;
+        let sigma1 = self.sigma1.ok_or(ForecastError::NotFitted)?;
+        let last = *context.last().ok_or(ForecastError::SeriesTooShort { needed: 1, got: 0 })?;
+        let mut values = Matrix::zeros(horizon, levels.len());
+        for h in 0..horizon {
+            let sd = sigma1 * ((h + 1) as f64).sqrt();
+            for (i, &l) in levels.iter().enumerate() {
+                values[(h, i)] = last + sd * norm_quantile(l);
+            }
+        }
+        Ok(QuantileForecast::new(levels.to_vec(), values))
+    }
+}
+
+impl PointForecaster for LastValue {
+    fn name(&self) -> &'static str {
+        "last-value"
+    }
+
+    fn fit(&mut self, series: &[f64]) -> Result<(), ForecastError> {
+        Forecaster::fit(self, series)
+    }
+
+    fn forecast(&self, context: &[f64], horizon: usize) -> Result<Vec<f64>, ForecastError> {
+        let last = *context.last().ok_or(ForecastError::SeriesTooShort { needed: 1, got: 0 })?;
+        Ok(vec![last; horizon])
+    }
+}
+
+/// Repeats the value one season ago (`period` steps); quantiles from the
+/// seasonal-difference residual spread.
+#[derive(Debug, Clone)]
+pub struct SeasonalNaive {
+    period: usize,
+    sigma: Option<f64>,
+}
+
+impl SeasonalNaive {
+    /// New seasonal-naive model with the given season length in steps
+    /// (e.g. 144 for daily seasonality at 10-minute sampling).
+    ///
+    /// # Panics
+    /// Panics if `period == 0`.
+    pub fn new(period: usize) -> Self {
+        assert!(period > 0, "seasonal period must be positive");
+        Self { period, sigma: None }
+    }
+
+    /// Season length in steps.
+    pub fn period(&self) -> usize {
+        self.period
+    }
+}
+
+impl Forecaster for SeasonalNaive {
+    fn name(&self) -> &'static str {
+        "seasonal-naive"
+    }
+
+    fn fit(&mut self, series: &[f64]) -> Result<(), ForecastError> {
+        if series.len() < 2 * self.period {
+            return Err(ForecastError::SeriesTooShort {
+                needed: 2 * self.period,
+                got: series.len(),
+            });
+        }
+        let resid: Vec<f64> =
+            (self.period..series.len()).map(|t| series[t] - series[t - self.period]).collect();
+        self.sigma = Some(stats::std_dev(&resid).max(1e-9));
+        Ok(())
+    }
+
+    fn forecast_quantiles(
+        &self,
+        context: &[f64],
+        horizon: usize,
+        levels: &[f64],
+    ) -> Result<QuantileForecast, ForecastError> {
+        validate_levels(levels)?;
+        let sigma = self.sigma.ok_or(ForecastError::NotFitted)?;
+        if context.len() < self.period {
+            return Err(ForecastError::SeriesTooShort { needed: self.period, got: context.len() });
+        }
+        let season = &context[context.len() - self.period..];
+        let mut values = Matrix::zeros(horizon, levels.len());
+        for h in 0..horizon {
+            let base = season[h % self.period];
+            for (i, &l) in levels.iter().enumerate() {
+                values[(h, i)] = base + sigma * norm_quantile(l);
+            }
+        }
+        Ok(QuantileForecast::new(levels.to_vec(), values))
+    }
+}
+
+impl crate::types::ErrorFeedback for LastValue {}
+impl crate::types::ErrorFeedback for SeasonalNaive {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_value_point_forecast() {
+        let mut m = LastValue::new();
+        PointForecaster::fit(&mut m, &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(m.forecast(&[5.0, 7.0], 3).unwrap(), vec![7.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn last_value_intervals_widen_with_horizon() {
+        let mut m = LastValue::new();
+        Forecaster::fit(&mut m, &[0.0, 1.0, 0.0, 1.0, 0.0, 1.0]).unwrap();
+        let f = m.forecast_quantiles(&[1.0], 4, &[0.1, 0.9]).unwrap();
+        let w1 = f.at(0, 0.9) - f.at(0, 0.1);
+        let w4 = f.at(3, 0.9) - f.at(3, 0.1);
+        assert!(w4 > w1 * 1.5, "w1={w1} w4={w4}");
+        // Median equals the last value.
+        assert!((f.at(0, 0.5) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unfitted_errors() {
+        let m = LastValue::new();
+        assert_eq!(
+            m.forecast_quantiles(&[1.0], 1, &[0.5]).unwrap_err(),
+            ForecastError::NotFitted
+        );
+    }
+
+    #[test]
+    fn seasonal_naive_repeats_period() {
+        let period = 4;
+        let mut m = SeasonalNaive::new(period);
+        // Two exact seasons of [10, 20, 30, 40].
+        let series: Vec<f64> = (0..8).map(|i| (10 * (i % 4 + 1)) as f64).collect();
+        Forecaster::fit(&mut m, &series).unwrap();
+        let f = m.forecast_quantiles(&series[4..], 6, &[0.5]).unwrap();
+        let med = f.median();
+        assert_eq!(med[..4], [10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(med[4], 10.0);
+    }
+
+    #[test]
+    fn seasonal_naive_requires_full_period_context() {
+        let mut m = SeasonalNaive::new(4);
+        Forecaster::fit(&mut m, &[1.0; 8]).unwrap();
+        assert!(matches!(
+            m.forecast_quantiles(&[1.0, 2.0], 1, &[0.5]).unwrap_err(),
+            ForecastError::SeriesTooShort { .. }
+        ));
+    }
+
+    #[test]
+    fn seasonal_naive_fit_needs_two_seasons() {
+        let mut m = SeasonalNaive::new(10);
+        assert!(Forecaster::fit(&mut m, &[1.0; 15]).is_err());
+        assert!(Forecaster::fit(&mut m, &[1.0; 20]).is_ok());
+    }
+
+    #[test]
+    fn quantiles_ordered() {
+        let mut m = LastValue::new();
+        Forecaster::fit(&mut m, &[5.0, 6.0, 4.0, 7.0]).unwrap();
+        let f = m.forecast_quantiles(&[5.0], 3, &[0.1, 0.5, 0.9]).unwrap();
+        assert!(f.is_monotone());
+        assert!(f.at(0, 0.1) < f.at(0, 0.9));
+    }
+}

@@ -1,0 +1,341 @@
+//! Forecast types and the forecaster traits.
+
+use rpas_tsmath::Matrix;
+
+/// Errors from fitting or forecasting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ForecastError {
+    /// The training or context series is shorter than the model requires.
+    SeriesTooShort {
+        /// Minimum length required.
+        needed: usize,
+        /// Length supplied.
+        got: usize,
+    },
+    /// `forecast_*` called before `fit`.
+    NotFitted,
+    /// A configuration value is invalid; the message explains which.
+    InvalidConfig(String),
+    /// The requested horizon exceeds what the fitted model supports.
+    HorizonTooLong {
+        /// Maximum supported horizon.
+        max: usize,
+        /// Requested horizon.
+        requested: usize,
+    },
+}
+
+impl std::fmt::Display for ForecastError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ForecastError::SeriesTooShort { needed, got } => {
+                write!(f, "series too short: need {needed} samples, got {got}")
+            }
+            ForecastError::NotFitted => write!(f, "model has not been fitted"),
+            ForecastError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            ForecastError::HorizonTooLong { max, requested } => {
+                write!(f, "horizon {requested} exceeds fitted maximum {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ForecastError {}
+
+/// A multi-horizon quantile forecast: `values[(h, i)]` is the forecast for
+/// step `h` at quantile level `levels[i]`.
+///
+/// ```
+/// use rpas_forecast::QuantileForecast;
+/// use rpas_tsmath::Matrix;
+///
+/// let f = QuantileForecast::new(
+///     vec![0.1, 0.5, 0.9],
+///     Matrix::from_rows(&[vec![80.0, 100.0, 120.0]]),
+/// );
+/// assert_eq!(f.at(0, 0.5), 100.0);      // exact level
+/// assert_eq!(f.at(0, 0.7), 110.0);      // interpolated
+/// assert_eq!(f.median(), vec![100.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileForecast {
+    levels: Vec<f64>,
+    values: Matrix,
+}
+
+impl QuantileForecast {
+    /// Build a forecast; levels must be strictly increasing in `(0, 1)`.
+    ///
+    /// Quantile crossings (a lower level forecasting above a higher one)
+    /// are repaired by sorting each step's values — the standard
+    /// "rearrangement" fix for independently-predicted quantiles.
+    ///
+    /// # Panics
+    /// Panics if shapes disagree or levels are not strictly increasing.
+    pub fn new(levels: Vec<f64>, mut values: Matrix) -> Self {
+        assert_eq!(values.cols(), levels.len(), "QuantileForecast: shape mismatch");
+        assert!(
+            levels.windows(2).all(|w| w[0] < w[1]),
+            "QuantileForecast: levels must be strictly increasing"
+        );
+        assert!(
+            levels.iter().all(|&l| l > 0.0 && l < 1.0),
+            "QuantileForecast: levels must be in (0, 1)"
+        );
+        for h in 0..values.rows() {
+            let row = values.row_mut(h);
+            if row.windows(2).any(|w| w[0] > w[1]) {
+                row.sort_by(|a, b| a.partial_cmp(b).expect("NaN in forecast"));
+            }
+        }
+        Self { levels, values }
+    }
+
+    /// Quantile levels (strictly increasing).
+    pub fn levels(&self) -> &[f64] {
+        &self.levels
+    }
+
+    /// Forecast horizon (number of future steps).
+    pub fn horizon(&self) -> usize {
+        self.values.rows()
+    }
+
+    /// Raw `horizon × levels` value matrix.
+    pub fn values(&self) -> &Matrix {
+        &self.values
+    }
+
+    /// Forecast at `(step, level)`, interpolating linearly between the
+    /// stored levels and clamping outside their range.
+    ///
+    /// # Panics
+    /// Panics if `step` is out of range or `level` outside `(0, 1)`.
+    pub fn at(&self, step: usize, level: f64) -> f64 {
+        assert!(step < self.horizon(), "forecast step out of range");
+        assert!(level > 0.0 && level < 1.0, "quantile level out of range");
+        let row = self.values.row(step);
+        match self.levels.iter().position(|&l| l >= level) {
+            Some(0) => row[0],
+            Some(i) => {
+                let (l0, l1) = (self.levels[i - 1], self.levels[i]);
+                if (l1 - level).abs() < 1e-12 {
+                    row[i]
+                } else {
+                    let t = (level - l0) / (l1 - l0);
+                    row[i - 1] + t * (row[i] - row[i - 1])
+                }
+            }
+            None => *row.last().expect("non-empty levels"),
+        }
+    }
+
+    /// The whole series at one quantile level.
+    pub fn series(&self, level: f64) -> Vec<f64> {
+        (0..self.horizon()).map(|h| self.at(h, level)).collect()
+    }
+
+    /// Median (0.5-quantile) series.
+    pub fn median(&self) -> Vec<f64> {
+        self.series(0.5)
+    }
+
+    /// Mean across the stored quantile levels per step — the paper's
+    /// "derive the mean value from the forecast obtained at the predefined
+    /// quantiles and utilize it as the point prediction" (§IV-B1).
+    pub fn level_mean(&self) -> Vec<f64> {
+        (0..self.horizon())
+            .map(|h| {
+                let row = self.values.row(h);
+                row.iter().sum::<f64>() / row.len() as f64
+            })
+            .collect()
+    }
+
+    /// True when every step's values are non-decreasing across levels
+    /// (always holds after construction; exposed for property tests).
+    pub fn is_monotone(&self) -> bool {
+        (0..self.horizon()).all(|h| self.values.row(h).windows(2).all(|w| w[0] <= w[1]))
+    }
+}
+
+/// A probabilistic (quantile) workload forecaster — Definition 2 of the
+/// paper: predict future workload at prespecified quantile levels.
+pub trait Forecaster {
+    /// Short display name (used in experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// Train on a historical workload series.
+    ///
+    /// # Errors
+    /// Fails when the series is too short for the model's context/horizon.
+    fn fit(&mut self, series: &[f64]) -> Result<(), ForecastError>;
+
+    /// Forecast `horizon` steps beyond `context` at the given quantile
+    /// levels (strictly increasing, each in `(0, 1)`).
+    ///
+    /// # Errors
+    /// Fails when unfitted, the context is too short, or the horizon
+    /// exceeds the fitted maximum.
+    fn forecast_quantiles(
+        &self,
+        context: &[f64],
+        horizon: usize,
+        levels: &[f64],
+    ) -> Result<QuantileForecast, ForecastError>;
+}
+
+/// A point workload forecaster — Definition 1 of the paper.
+pub trait PointForecaster {
+    /// Short display name.
+    fn name(&self) -> &'static str;
+
+    /// Train on a historical workload series.
+    ///
+    /// # Errors
+    /// Fails when the series is too short.
+    fn fit(&mut self, series: &[f64]) -> Result<(), ForecastError>;
+
+    /// Forecast `horizon` point values beyond `context`.
+    ///
+    /// # Errors
+    /// Fails when unfitted or the context/horizon are unsupported.
+    fn forecast(&self, context: &[f64], horizon: usize) -> Result<Vec<f64>, ForecastError>;
+}
+
+/// Optional feedback channel for point forecasters: scalers report the
+/// realised workload against what was forecast once a window completes.
+/// Most models ignore it; the CloudScale-style padding wrapper uses it to
+/// size its under-estimation pad.
+pub trait ErrorFeedback {
+    /// Record realised `actuals` against the `forecasts` issued for them.
+    fn observe_errors(&mut self, actuals: &[f64], forecasts: &[f64]) {
+        let _ = (actuals, forecasts);
+    }
+}
+
+/// Adapter: use a quantile forecaster's median as a point forecaster
+/// (e.g. **TFT-point** in the paper — TFT trained/read at the 0.5 quantile).
+pub struct PointFromQuantile<F: Forecaster> {
+    inner: F,
+    name: &'static str,
+}
+
+impl<F: Forecaster> PointFromQuantile<F> {
+    /// Wrap a quantile forecaster, overriding its display name.
+    pub fn new(inner: F, name: &'static str) -> Self {
+        Self { inner, name }
+    }
+
+    /// Access the wrapped forecaster.
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+}
+
+impl<F: Forecaster> PointForecaster for PointFromQuantile<F> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn fit(&mut self, series: &[f64]) -> Result<(), ForecastError> {
+        self.inner.fit(series)
+    }
+
+    fn forecast(&self, context: &[f64], horizon: usize) -> Result<Vec<f64>, ForecastError> {
+        Ok(self.inner.forecast_quantiles(context, horizon, &[0.5])?.median())
+    }
+}
+
+/// Validate a requested level set (shared by the model impls).
+pub(crate) fn validate_levels(levels: &[f64]) -> Result<(), ForecastError> {
+    if levels.is_empty() {
+        return Err(ForecastError::InvalidConfig("empty quantile level set".into()));
+    }
+    if !levels.windows(2).all(|w| w[0] < w[1]) {
+        return Err(ForecastError::InvalidConfig("levels must be strictly increasing".into()));
+    }
+    if !levels.iter().all(|&l| l > 0.0 && l < 1.0) {
+        return Err(ForecastError::InvalidConfig("levels must lie in (0,1)".into()));
+    }
+    Ok(())
+}
+
+impl<F: Forecaster> ErrorFeedback for PointFromQuantile<F> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qf() -> QuantileForecast {
+        // 2 steps × levels {0.1, 0.5, 0.9}.
+        QuantileForecast::new(
+            vec![0.1, 0.5, 0.9],
+            Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![10.0, 20.0, 30.0]]),
+        )
+    }
+
+    #[test]
+    fn exact_level_lookup() {
+        let f = qf();
+        assert_eq!(f.at(0, 0.5), 2.0);
+        assert_eq!(f.at(1, 0.9), 30.0);
+        assert_eq!(f.horizon(), 2);
+    }
+
+    #[test]
+    fn interpolation_between_levels() {
+        let f = qf();
+        // Halfway between 0.5 and 0.9.
+        assert!((f.at(0, 0.7) - 2.5).abs() < 1e-12);
+        // Clamped outside the grid.
+        assert_eq!(f.at(0, 0.05), 1.0);
+        assert_eq!(f.at(0, 0.99), 3.0);
+    }
+
+    #[test]
+    fn series_and_median() {
+        let f = qf();
+        assert_eq!(f.median(), vec![2.0, 20.0]);
+        assert_eq!(f.series(0.9), vec![3.0, 30.0]);
+        assert_eq!(f.level_mean(), vec![2.0, 20.0]);
+    }
+
+    #[test]
+    fn crossing_quantiles_are_rearranged() {
+        let f = QuantileForecast::new(
+            vec![0.1, 0.5, 0.9],
+            Matrix::from_rows(&[vec![3.0, 1.0, 2.0]]),
+        );
+        assert!(f.is_monotone());
+        assert_eq!(f.at(0, 0.1), 1.0);
+        assert_eq!(f.at(0, 0.9), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_levels() {
+        QuantileForecast::new(vec![0.5, 0.1], Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "in (0, 1)")]
+    fn rejects_boundary_levels() {
+        QuantileForecast::new(vec![0.5, 1.0], Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn validate_levels_cases() {
+        assert!(validate_levels(&[0.1, 0.9]).is_ok());
+        assert!(validate_levels(&[]).is_err());
+        assert!(validate_levels(&[0.9, 0.1]).is_err());
+        assert!(validate_levels(&[0.0, 0.5]).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ForecastError::SeriesTooShort { needed: 10, got: 3 };
+        assert!(e.to_string().contains("10"));
+        assert!(ForecastError::NotFitted.to_string().contains("not been fitted"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Weight-persistence integration tests: train a model, export, restore
+//! into a fresh instance, and require bit-identical forecasts.
+
+use rpas_forecast::{
+    DeepAr, DeepArConfig, DistKind, ForecastError, Forecaster, MlpProb, MlpProbConfig, Tft,
+    TftConfig,
+};
+use rpas_tsmath::rng::{seeded, standard_normal};
+
+fn series(n: usize, seed: u64) -> Vec<f64> {
+    let mut r = seeded(seed);
+    (0..n)
+        .map(|t| {
+            70.0 + 12.0 * (2.0 * std::f64::consts::PI * t as f64 / 12.0).sin()
+                + 1.5 * standard_normal(&mut r)
+        })
+        .collect()
+}
+
+fn deepar_cfg() -> DeepArConfig {
+    DeepArConfig {
+        context: 12,
+        train_window: 24,
+        hidden: 10,
+        epochs: 6,
+        lr: 2e-3,
+        windows_per_epoch: 24,
+        num_samples: 40,
+        seed: 5,
+    }
+}
+
+#[test]
+fn deepar_roundtrip_identical_forecasts() {
+    let data = series(300, 1);
+    let mut trained = DeepAr::new(deepar_cfg());
+    Forecaster::fit(&mut trained, &data).unwrap();
+    let snap = trained.export_weights().expect("fitted model exports");
+
+    let mut restored = DeepAr::new(deepar_cfg());
+    assert!(restored.export_weights().is_none(), "unfitted model has no weights");
+    restored.import_weights(&snap).unwrap();
+
+    let a = trained.forecast_quantiles(&data[..12], 6, &[0.1, 0.5, 0.9]).unwrap();
+    let b = restored.forecast_quantiles(&data[..12], 6, &[0.1, 0.5, 0.9]).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn mlp_roundtrip_identical_forecasts() {
+    let cfg = MlpProbConfig {
+        context: 12,
+        horizon: 4,
+        hidden: vec![16],
+        dist: DistKind::StudentT,
+        epochs: 10,
+        lr: 2e-3,
+        windows_per_epoch: 24,
+        seed: 2,
+    };
+    let data = series(300, 2);
+    let mut trained = MlpProb::new(cfg.clone());
+    Forecaster::fit(&mut trained, &data).unwrap();
+    let snap = trained.export_weights().expect("fitted model exports");
+
+    let mut restored = MlpProb::new(cfg);
+    restored.import_weights(&snap).unwrap();
+    let a = trained.forecast_quantiles(&data[..12], 4, &[0.5, 0.9]).unwrap();
+    let b = restored.forecast_quantiles(&data[..12], 4, &[0.5, 0.9]).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn tft_roundtrip_identical_forecasts() {
+    let cfg = TftConfig {
+        context: 12,
+        horizon: 4,
+        d_model: 8,
+        heads: 2,
+        quantiles: vec![0.1, 0.5, 0.9],
+        epochs: 6,
+        lr: 2e-3,
+        windows_per_epoch: 16,
+        seed: 3,
+    };
+    let data = series(300, 3);
+    let mut trained = Tft::new(cfg.clone());
+    Forecaster::fit(&mut trained, &data).unwrap();
+    let snap = trained.export_weights().expect("fitted model exports");
+
+    let mut restored = Tft::new(cfg);
+    restored.import_weights(&snap).unwrap();
+    let a = trained.forecast_quantiles(&data[..12], 4, &[0.1, 0.5, 0.9]).unwrap();
+    let b = restored.forecast_quantiles(&data[..12], 4, &[0.1, 0.5, 0.9]).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn cross_architecture_import_rejected() {
+    let data = series(300, 4);
+    let mut trained = DeepAr::new(deepar_cfg());
+    Forecaster::fit(&mut trained, &data).unwrap();
+    let snap = trained.export_weights().unwrap();
+
+    // Different hidden size must be rejected.
+    let mut other = DeepAr::new(DeepArConfig { hidden: 12, ..deepar_cfg() });
+    assert!(matches!(other.import_weights(&snap), Err(ForecastError::InvalidConfig(_))));
+
+    // A TFT cannot import DeepAR weights either.
+    let mut tft = Tft::new(TftConfig {
+        context: 12,
+        horizon: 4,
+        d_model: 8,
+        heads: 2,
+        quantiles: vec![0.5],
+        epochs: 1,
+        lr: 1e-3,
+        windows_per_epoch: 8,
+        seed: 1,
+    });
+    assert!(matches!(tft.import_weights(&snap), Err(ForecastError::InvalidConfig(_))));
+}
+
+#[test]
+fn corrupt_snapshot_rejected() {
+    let data = series(300, 5);
+    let mut trained = DeepAr::new(deepar_cfg());
+    Forecaster::fit(&mut trained, &data).unwrap();
+    let mut snap = trained.export_weights().unwrap();
+    snap.truncate(snap.len() / 2);
+    let mut restored = DeepAr::new(deepar_cfg());
+    assert!(restored.import_weights(&snap).is_err());
+}

@@ -1,0 +1,19 @@
+//! # rpas-lp
+//!
+//! A small linear-programming substrate: problem builder plus a two-phase
+//! primal simplex solver.
+//!
+//! The paper notes that the deterministic auto-scaling problem (Eq. 6) "can
+//! be solved using standard linear programming solvers"; this crate is that
+//! solver. The robust auto-scaling manager routes its capacity plan through
+//! it (and cross-validates against the closed-form solution of the
+//! separable problem — see the `planners` Criterion bench for the cost
+//! comparison).
+
+#![warn(missing_docs)]
+
+pub mod problem;
+pub mod simplex;
+
+pub use problem::{Constraint, LpProblem, Relation};
+pub use simplex::{solve, LpError, LpSolution};

@@ -1,0 +1,82 @@
+//! # rpas-nn
+//!
+//! A small, dependency-light neural-network substrate with hand-written
+//! forward/backward passes — the engine under the probabilistic workload
+//! forecasters (MLP, DeepAR-style GRU, TFT-style attention model).
+//!
+//! Design notes:
+//!
+//! * **No autograd.** Every layer caches what its backward pass needs on an
+//!   internal stack, so the same layer instance can be unrolled over a
+//!   sequence (weight sharing for BPTT) and then back-propagated in reverse
+//!   order. `gradcheck` validates every layer against central finite
+//!   differences.
+//! * **Parameter-owned optimizer state.** Each [`Param`] carries its value,
+//!   its accumulated gradient, and its Adam moment buffers; the optimizer is
+//!   just hyperparameters plus a shared step counter.
+//! * **`f64` everywhere.** The workloads are small time series; determinism
+//!   and debuggability beat raw speed.
+
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod adam;
+pub mod attention;
+pub mod gradcheck;
+pub mod grn;
+pub mod gru;
+pub mod linear;
+pub mod loss;
+pub mod lstm;
+pub mod param;
+pub mod serialize;
+pub mod sequential;
+
+pub use activation::{ActLayer, Activation};
+pub use adam::{Adam, Sgd};
+pub use attention::MultiHeadAttention;
+pub use grn::{GatedResidualNetwork, LayerNorm};
+pub use gru::GruCell;
+pub use linear::Dense;
+pub use lstm::LstmCell;
+pub use param::Param;
+pub use serialize::{load as load_weights, save as save_weights, SerializeError};
+pub use sequential::Mlp;
+
+/// Trait implemented by everything that owns trainable parameters.
+///
+/// `visit_params` hands each [`Param`] to the callback; the optimizer uses it
+/// to step, and helpers use it for gradient clipping and zeroing.
+pub trait Layer {
+    /// Visit every trainable parameter (mutably).
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Zero all accumulated gradients.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.grad.iter_mut().for_each(|g| *g = 0.0));
+    }
+
+    /// Drop cached activations (call between unrelated forward passes if a
+    /// backward pass was skipped).
+    fn clear_cache(&mut self);
+
+    /// Total number of scalar parameters.
+    fn num_params(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.data.len());
+        n
+    }
+
+    /// Global-norm gradient clipping across every parameter of the layer.
+    /// Returns the pre-clip global norm.
+    fn clip_grad_norm(&mut self, max_norm: f64) -> f64 {
+        let mut sq = 0.0;
+        self.visit_params(&mut |p| sq += p.grad.iter().map(|g| g * g).sum::<f64>());
+        let norm = sq.sqrt();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            self.visit_params(&mut |p| p.grad.iter_mut().for_each(|g| *g *= s));
+        }
+        norm
+    }
+}

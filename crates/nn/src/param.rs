@@ -1,0 +1,108 @@
+//! Trainable parameter: value + accumulated gradient + Adam moment buffers.
+
+use rand::RngCore;
+use rpas_tsmath::rng;
+
+/// A flat trainable parameter tensor.
+///
+/// Layers interpret the flat buffer with their own shape conventions (e.g. a
+/// dense layer stores its weight row-major `out × in`). The Adam moment
+/// buffers (`m`, `v`) live with the parameter, so optimizer state survives
+/// however the caller organises layers.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current parameter values.
+    pub data: Vec<f64>,
+    /// Accumulated gradient (same length as `data`).
+    pub grad: Vec<f64>,
+    /// Adam first-moment buffer.
+    pub(crate) m: Vec<f64>,
+    /// Adam second-moment buffer.
+    pub(crate) v: Vec<f64>,
+}
+
+impl Param {
+    /// All-zero parameter of length `n` (typical for biases).
+    pub fn zeros(n: usize) -> Self {
+        Self { data: vec![0.0; n], grad: vec![0.0; n], m: vec![0.0; n], v: vec![0.0; n] }
+    }
+
+    /// Parameter initialised with Xavier/Glorot-uniform entries for a layer
+    /// with the given fan-in and fan-out. `n` is the total element count.
+    pub fn xavier(n: usize, fan_in: usize, fan_out: usize, rng: &mut dyn RngCore) -> Self {
+        let limit = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt();
+        let data = (0..n).map(|_| (rng::uniform_open(rng) * 2.0 - 1.0) * limit).collect();
+        Self { data, grad: vec![0.0; n], m: vec![0.0; n], v: vec![0.0; n] }
+    }
+
+    /// Parameter with i.i.d. `N(0, std²)` entries.
+    pub fn gaussian(n: usize, std: f64, rng: &mut dyn RngCore) -> Self {
+        let data = (0..n).map(|_| rng::standard_normal(rng) * std).collect();
+        Self { data, grad: vec![0.0; n], m: vec![0.0; n], v: vec![0.0; n] }
+    }
+
+    /// Parameter wrapping explicit values (mostly for tests).
+    pub fn from_vec(data: Vec<f64>) -> Self {
+        let n = data.len();
+        Self { data, grad: vec![0.0; n], m: vec![0.0; n], v: vec![0.0; n] }
+    }
+
+    /// Number of scalar elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Zero the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.iter_mut().for_each(|g| *g = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpas_tsmath::rng::seeded;
+
+    #[test]
+    fn zeros_shape() {
+        let p = Param::zeros(4);
+        assert_eq!(p.len(), 4);
+        assert!(p.data.iter().all(|&x| x == 0.0));
+        assert!(!p.is_empty());
+        assert!(Param::zeros(0).is_empty());
+    }
+
+    #[test]
+    fn xavier_within_limit() {
+        let mut r = seeded(3);
+        let p = Param::xavier(1000, 10, 30, &mut r);
+        let limit = (6.0f64 / 40.0).sqrt();
+        assert!(p.data.iter().all(|x| x.abs() <= limit));
+        // Should actually use the range, not collapse to zero.
+        let max = p.data.iter().cloned().fold(0.0f64, |a, b| a.max(b.abs()));
+        assert!(max > 0.5 * limit);
+    }
+
+    #[test]
+    fn gaussian_std() {
+        let mut r = seeded(4);
+        let p = Param::gaussian(20_000, 0.3, &mut r);
+        let mean = p.data.iter().sum::<f64>() / p.len() as f64;
+        let var = p.data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (p.len() - 1) as f64;
+        assert!(mean.abs() < 0.01);
+        assert!((var.sqrt() - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::from_vec(vec![1.0, 2.0]);
+        p.grad = vec![3.0, 4.0];
+        p.zero_grad();
+        assert_eq!(p.grad, vec![0.0, 0.0]);
+    }
+}

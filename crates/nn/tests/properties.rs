@@ -1,0 +1,150 @@
+//! Property-based tests for the neural substrate: invariants that must hold
+//! for arbitrary shapes, seeds, and inputs.
+
+use proptest::prelude::*;
+use rpas_nn::loss;
+use rpas_nn::{Activation, Adam, Dense, GruCell, Layer, LstmCell, Mlp, Param};
+use rpas_tsmath::rng::seeded;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dense_forward_is_affine(seed in any::<u64>(), a in -3.0f64..3.0) {
+        // f(a·x) − f(0) = a · (f(x) − f(0)) for a linear layer.
+        let mut r = seeded(seed);
+        let d = Dense::new(3, 2, &mut r);
+        let x = [0.3, -0.7, 1.1];
+        let zero = d.apply(&[0.0; 3]);
+        let fx = d.apply(&x);
+        let ax: Vec<f64> = x.iter().map(|v| a * v).collect();
+        let fax = d.apply(&ax);
+        for i in 0..2 {
+            let lhs = fax[i] - zero[i];
+            let rhs = a * (fx[i] - zero[i]);
+            prop_assert!((lhs - rhs).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gru_state_stays_bounded(seed in any::<u64>(), steps in 1usize..30) {
+        let mut r = seeded(seed);
+        let g = GruCell::new(1, 4, &mut r);
+        let mut h = g.init_state();
+        for t in 0..steps {
+            h = g.apply(&[(t as f64).sin() * 3.0], &h);
+        }
+        // h is always a convex combination of tanh outputs and 0-init state.
+        prop_assert!(h.iter().all(|v| v.abs() <= 1.0 + 1e-12));
+    }
+
+    #[test]
+    fn lstm_hidden_bounded_by_one(seed in any::<u64>(), steps in 1usize..20) {
+        let mut r = seeded(seed);
+        let l = LstmCell::new(2, 3, &mut r);
+        let mut s = l.init_state();
+        for t in 0..steps {
+            s = l.apply(&[t as f64 * 0.1, -(t as f64) * 0.05], &s);
+        }
+        // h = o ∘ tanh(c), |o| ≤ 1, |tanh| ≤ 1.
+        prop_assert!(s.h.iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn pinball_loss_nonnegative(pred in -100.0f64..100.0, target in -100.0f64..100.0,
+                                tau in 0.01f64..0.99) {
+        let (l, _) = loss::pinball(pred, target, tau);
+        prop_assert!(l >= 0.0);
+        // Zero exactly when pred == target.
+        let (l0, _) = loss::pinball(target, target, tau);
+        prop_assert!(l0 == 0.0);
+    }
+
+    #[test]
+    fn pinball_grid_nonnegative(target in -50.0f64..50.0, seed in any::<u64>()) {
+        let mut s = seed | 1;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) * 20.0 - 10.0
+        };
+        let taus = [0.1, 0.5, 0.9];
+        let preds = [next(), next(), next()];
+        let (l, g) = loss::pinball_grid(&preds, target, &taus);
+        prop_assert!(l >= 0.0);
+        prop_assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn gaussian_nll_decreases_toward_truth(y in -5.0f64..5.0, off in 0.5f64..3.0) {
+        // Moving mu toward y cannot increase the NLL (fixed sigma).
+        let (far, _, _) = loss::gaussian_nll(y + off, 0.0, y);
+        let (near, _, _) = loss::gaussian_nll(y + off / 2.0, 0.0, y);
+        let (at, _, _) = loss::gaussian_nll(y, 0.0, y);
+        prop_assert!(at <= near + 1e-12);
+        prop_assert!(near <= far + 1e-12);
+    }
+
+    #[test]
+    fn student_t_nll_finite_everywhere(mu in -10.0f64..10.0, sraw in -5.0f64..5.0,
+                                       nraw in -5.0f64..5.0, y in -10.0f64..10.0) {
+        let (l, dmu, dsr, dnr) = loss::student_t_nll(mu, sraw, nraw, y);
+        prop_assert!(l.is_finite());
+        prop_assert!(dmu.is_finite() && dsr.is_finite() && dnr.is_finite());
+    }
+
+    #[test]
+    fn adam_step_magnitude_bounded_by_lr(g in -1e3f64..1e3, lr in 1e-4f64..0.1) {
+        prop_assume!(g.abs() > 1e-6);
+        let mut p = Param::from_vec(vec![0.0]);
+        p.grad = vec![g];
+        let mut opt = Adam::new(lr);
+        opt.begin_step();
+        opt.update(&mut p);
+        // First-step Adam update is ~lr regardless of gradient scale.
+        prop_assert!(p.data[0].abs() <= lr * 1.01);
+    }
+
+    #[test]
+    fn clip_grad_norm_enforces_bound(seed in any::<u64>(), max_norm in 0.1f64..5.0) {
+        let mut r = seeded(seed);
+        let mut m = Mlp::new(&[2, 4, 1], Activation::Tanh, &mut r);
+        // Accumulate a big gradient.
+        let y = m.forward(&[1.0, -1.0]);
+        let dy = vec![1e4 * (y[0] + 1.0)];
+        let _ = m.backward(&dy);
+        m.clip_grad_norm(max_norm);
+        let mut sq = 0.0;
+        m.visit_params(&mut |p| sq += p.grad.iter().map(|g| g * g).sum::<f64>());
+        prop_assert!(sq.sqrt() <= max_norm * (1.0 + 1e-9));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn weight_snapshot_roundtrips_any_mlp_shape(seed in any::<u64>(),
+                                                inp in 1usize..6,
+                                                hid in 1usize..8,
+                                                out in 1usize..5) {
+        use rpas_nn::{load_weights, save_weights};
+        let mut r1 = seeded(seed);
+        let mut r2 = seeded(seed ^ 0xdead_beef);
+        let mut a = Mlp::new(&[inp, hid, out], Activation::Tanh, &mut r1);
+        let mut b = Mlp::new(&[inp, hid, out], Activation::Tanh, &mut r2);
+        let snap = save_weights(&mut [&mut a], &[42.0]);
+        let extras = load_weights(&mut [&mut b], &snap).expect("same shape must load");
+        prop_assert_eq!(extras, vec![42.0]);
+        let x: Vec<f64> = (0..inp).map(|i| i as f64 * 0.3 - 0.5).collect();
+        prop_assert_eq!(a.apply(&x), b.apply(&x));
+    }
+
+    #[test]
+    fn snapshot_never_panics_on_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        use rpas_nn::load_weights;
+        let mut r = seeded(1);
+        let mut m = Mlp::new(&[2, 3, 1], Activation::Relu, &mut r);
+        // Must return an error (or in freak cases succeed), never panic.
+        let _ = load_weights(&mut [&mut m], &data);
+    }
+}

@@ -1,0 +1,193 @@
+//! The compute-node pool: scale-out/scale-in mechanics over shared storage.
+
+use crate::node::{ComputeNode, NodeId, NodeState};
+use crate::storage::SharedStorage;
+use crate::warmup::WarmupModel;
+use std::sync::Arc;
+
+/// A pool of compute nodes attached to one shared storage.
+#[derive(Debug)]
+pub struct Cluster {
+    nodes: Vec<ComputeNode>,
+    next_id: u32,
+    warmup: WarmupModel,
+    storage: Arc<SharedStorage>,
+    scale_out_events: usize,
+    scale_in_events: usize,
+}
+
+impl Cluster {
+    /// New cluster bootstrapped with `initial_nodes` already-active nodes.
+    pub fn new(initial_nodes: u32, warmup: WarmupModel, storage: Arc<SharedStorage>) -> Self {
+        let nodes =
+            (0..initial_nodes).map(|i| ComputeNode::active(NodeId(i), 0)).collect::<Vec<_>>();
+        Self {
+            nodes,
+            next_id: initial_nodes,
+            warmup,
+            storage,
+            scale_out_events: 0,
+            scale_in_events: 0,
+        }
+    }
+
+    /// Total nodes (active + warming).
+    pub fn size(&self) -> u32 {
+        self.nodes.len() as u32
+    }
+
+    /// Nodes currently able to serve.
+    pub fn active_count(&self) -> u32 {
+        self.nodes.iter().filter(|n| n.is_active()).count() as u32
+    }
+
+    /// Borrow the node list.
+    pub fn nodes(&self) -> &[ComputeNode] {
+        &self.nodes
+    }
+
+    /// Shared storage handle.
+    pub fn storage(&self) -> &SharedStorage {
+        &self.storage
+    }
+
+    /// Scale-out operations performed so far.
+    pub fn scale_out_events(&self) -> usize {
+        self.scale_out_events
+    }
+
+    /// Scale-in operations performed so far.
+    pub fn scale_in_events(&self) -> usize {
+        self.scale_in_events
+    }
+
+    /// Adjust the pool to `target` nodes at simulation step `step`.
+    ///
+    /// Scale-out launches warming nodes (each reads a checkpoint from
+    /// shared storage). Scale-in removes warming nodes first (cheapest to
+    /// cancel), then active ones; removal is immediate — in a disaggregated
+    /// architecture a compute node holds no exclusive state.
+    pub fn scale_to(&mut self, target: u32, step: usize) {
+        let current = self.size();
+        if target > current {
+            self.scale_out_events += 1;
+            for _ in 0..(target - current) {
+                let gb = self.storage.load_checkpoint();
+                let w = self.warmup.warmup_secs(gb);
+                let id = NodeId(self.next_id);
+                self.next_id += 1;
+                self.nodes.push(ComputeNode::warming(id, w, step));
+            }
+        } else if target < current {
+            self.scale_in_events += 1;
+            let mut to_remove = (current - target) as usize;
+            // Remove warming nodes first.
+            let mut i = 0;
+            while i < self.nodes.len() && to_remove > 0 {
+                if !self.nodes[i].is_active() {
+                    self.nodes.remove(i);
+                    to_remove -= 1;
+                } else {
+                    i += 1;
+                }
+            }
+            // Then most-recently-launched active nodes.
+            while to_remove > 0 {
+                let idx = self
+                    .nodes
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, n)| n.launched_at_step)
+                    .map(|(i, _)| i)
+                    .expect("removing from non-empty pool");
+                self.nodes.remove(idx);
+                to_remove -= 1;
+            }
+        }
+    }
+
+    /// Advance one interval of `dt_secs`; returns the pool's effective
+    /// serving capacity over the interval, in node-units (active nodes
+    /// count 1.0, nodes finishing warm-up count their serving fraction).
+    pub fn tick(&mut self, dt_secs: f64) -> f64 {
+        self.nodes.iter_mut().map(|n| n.tick(dt_secs)).sum()
+    }
+
+    /// Seconds of warm-up remaining across the pool (0 when all active).
+    pub fn pending_warmup_secs(&self) -> f64 {
+        self.nodes
+            .iter()
+            .map(|n| match n.state {
+                NodeState::WarmingUp { remaining_secs } => remaining_secs,
+                NodeState::Active => 0.0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: u32) -> Cluster {
+        Cluster::new(n, WarmupModel::new(1.0, 2.0), Arc::new(SharedStorage::new(4.0)))
+    }
+
+    #[test]
+    fn bootstrap_all_active() {
+        let c = cluster(3);
+        assert_eq!(c.size(), 3);
+        assert_eq!(c.active_count(), 3);
+        assert_eq!(c.pending_warmup_secs(), 0.0);
+    }
+
+    #[test]
+    fn scale_out_adds_warming_nodes_and_reads_checkpoints() {
+        let mut c = cluster(2);
+        c.scale_to(5, 1);
+        assert_eq!(c.size(), 5);
+        assert_eq!(c.active_count(), 2);
+        assert_eq!(c.storage().stats().checkpoint_reads, 3);
+        assert_eq!(c.scale_out_events(), 1);
+        // Warm-up = 1 + 4/2 = 3 s each.
+        assert!((c.pending_warmup_secs() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tick_activates_and_reports_capacity() {
+        let mut c = cluster(2);
+        c.scale_to(3, 0);
+        // One warming node (3 s), interval 600 s: capacity ≈ 2 + 597/600.
+        let cap = c.tick(600.0);
+        assert!((cap - (2.0 + 597.0 / 600.0)).abs() < 1e-9);
+        assert_eq!(c.active_count(), 3);
+    }
+
+    #[test]
+    fn scale_in_prefers_warming_nodes() {
+        let mut c = cluster(2);
+        c.scale_to(4, 0); // 2 active + 2 warming
+        c.scale_to(2, 0); // remove the 2 warming ones
+        assert_eq!(c.size(), 2);
+        assert_eq!(c.active_count(), 2);
+        assert_eq!(c.scale_in_events(), 1);
+    }
+
+    #[test]
+    fn scale_in_removes_newest_active() {
+        let mut c = cluster(1);
+        c.scale_to(2, 5);
+        c.tick(600.0); // activate the new node
+        c.scale_to(1, 6);
+        assert_eq!(c.size(), 1);
+        // The surviving node is the original (launched at step 0).
+        assert_eq!(c.nodes()[0].launched_at_step, 0);
+    }
+
+    #[test]
+    fn noop_scale_keeps_events_unchanged() {
+        let mut c = cluster(2);
+        c.scale_to(2, 0);
+        assert_eq!(c.scale_out_events() + c.scale_in_events(), 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # rpas-simdb
+//!
+//! A discrete-time simulator of a storage-disaggregated cloud database —
+//! the evaluation substrate standing in for the production cluster behind
+//! the paper's §IV-C experiments (see DESIGN.md §2, substitution 5).
+//!
+//! The architecture mirrors Fig. 4 of the paper: stateless compute nodes
+//! scale out over shared (disaggregated) storage, so adding a node only
+//! costs rebuilding its in-memory components from a checkpoint — seconds,
+//! not minutes (Fig. 5). The simulator models:
+//!
+//! * a node pool with warm-up delays drawn from a checkpoint-loading model,
+//! * per-step utilization accounting against a scaling threshold `θ`,
+//! * a pluggable [`ScalingPolicy`] (reactive and predictive policies live
+//!   in `rpas-core`),
+//! * under-/over-provisioning bookkeeping via `rpas-metrics`.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod node;
+pub mod policy;
+pub mod qos;
+pub mod report;
+pub mod simulator;
+pub mod storage;
+pub mod warmup;
+
+pub use cluster::Cluster;
+pub use node::{ComputeNode, NodeId, NodeState};
+pub use policy::{FixedPolicy, Observation, OraclePolicy, ScalingPolicy};
+pub use qos::{slo_report, LatencyModel, SloReport};
+pub use report::{SimulationReport, StepRecord};
+pub use simulator::{SimConfig, Simulation};
+pub use storage::SharedStorage;
+pub use warmup::WarmupModel;

@@ -1,0 +1,95 @@
+//! The scaling-policy interface and two reference policies.
+//!
+//! Real policies — reactive scalers, point-forecast scalers, and the
+//! paper's robust/adaptive quantile planners — live in `rpas-core`; the
+//! simulator only sees this trait.
+
+/// What a policy can observe when deciding the next step's node count.
+#[derive(Debug, Clone, Copy)]
+pub struct Observation<'a> {
+    /// Current simulation step (the step about to be served).
+    pub step: usize,
+    /// Realised workload history up to (not including) the current step.
+    pub history: &'a [f64],
+    /// Nodes currently in the pool (active + warming).
+    pub current_nodes: u32,
+    /// Scaling threshold `θ` (max average workload per node).
+    pub theta: f64,
+    /// Minimum pool size.
+    pub min_nodes: u32,
+}
+
+/// A horizontal-scaling policy: decides the target node count for the
+/// upcoming interval.
+pub trait ScalingPolicy {
+    /// Display name (used in experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// Target number of compute nodes for the next interval.
+    fn decide(&mut self, obs: &Observation<'_>) -> u32;
+}
+
+/// Always requests the same node count (testing / static provisioning).
+#[derive(Debug, Clone, Copy)]
+pub struct FixedPolicy(
+    /// The constant target.
+    pub u32,
+);
+
+impl ScalingPolicy for FixedPolicy {
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+
+    fn decide(&mut self, _obs: &Observation<'_>) -> u32 {
+        self.0
+    }
+}
+
+/// Clairvoyant policy that knows the whole future workload — the
+/// minimum-cost feasible allocation, used as the lower bound in tests and
+/// ablations.
+#[derive(Debug, Clone)]
+pub struct OraclePolicy {
+    future: Vec<f64>,
+}
+
+impl OraclePolicy {
+    /// New oracle over the full workload trace (indexed by step).
+    pub fn new(future: Vec<f64>) -> Self {
+        Self { future }
+    }
+}
+
+impl ScalingPolicy for OraclePolicy {
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+
+    fn decide(&mut self, obs: &Observation<'_>) -> u32 {
+        let w = self.future.get(obs.step).copied().unwrap_or(0.0);
+        rpas_metrics::provisioning::required_nodes(w, obs.theta, obs.min_nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_ignores_observation() {
+        let mut p = FixedPolicy(7);
+        let obs = Observation { step: 0, history: &[], current_nodes: 1, theta: 60.0, min_nodes: 1 };
+        assert_eq!(p.decide(&obs), 7);
+    }
+
+    #[test]
+    fn oracle_allocates_exact_requirement() {
+        let mut p = OraclePolicy::new(vec![30.0, 130.0, 0.0]);
+        let mk = |step| Observation { step, history: &[], current_nodes: 1, theta: 60.0, min_nodes: 1 };
+        assert_eq!(p.decide(&mk(0)), 1);
+        assert_eq!(p.decide(&mk(1)), 3);
+        assert_eq!(p.decide(&mk(2)), 1); // min_nodes floor
+        assert_eq!(p.decide(&mk(3)), 1); // beyond trace: floor
+    }
+}

@@ -1,0 +1,57 @@
+//! Simulation outputs: per-step records and run-level summaries.
+
+use rpas_metrics::ProvisioningReport;
+
+/// One simulated interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepRecord {
+    /// Step index.
+    pub step: usize,
+    /// Realised workload over the interval.
+    pub workload: f64,
+    /// Node count the policy requested.
+    pub target_nodes: u32,
+    /// Effective serving capacity (node-units; warm-up discounts count).
+    pub effective_capacity: f64,
+    /// Average per-node workload (`workload / effective_capacity`).
+    pub utilization: f64,
+    /// Whether utilization exceeded the threshold `θ`.
+    pub violation: bool,
+}
+
+/// Full simulation result.
+#[derive(Debug, Clone)]
+pub struct SimulationReport {
+    /// Policy display name.
+    pub policy: String,
+    /// Per-step records.
+    pub steps: Vec<StepRecord>,
+    /// Under-/over-provisioning summary (allocation vs realised demand).
+    pub provisioning: ProvisioningReport,
+    /// Fraction of intervals whose utilization exceeded `θ` after
+    /// accounting for warm-up (the SLO-facing view of under-provisioning).
+    pub violation_rate: f64,
+    /// Scale-out operations performed.
+    pub scale_out_events: usize,
+    /// Scale-in operations performed.
+    pub scale_in_events: usize,
+    /// Checkpoint reads served by shared storage (== nodes launched).
+    pub checkpoint_reads: u64,
+}
+
+impl SimulationReport {
+    /// Allocation series (one entry per step).
+    pub fn allocations(&self) -> Vec<u32> {
+        self.steps.iter().map(|s| s.target_nodes).collect()
+    }
+
+    /// Utilization series.
+    pub fn utilizations(&self) -> Vec<f64> {
+        self.steps.iter().map(|s| s.utilization).collect()
+    }
+
+    /// Total node-intervals paid for.
+    pub fn total_node_steps(&self) -> u64 {
+        self.steps.iter().map(|s| s.target_nodes as u64).sum()
+    }
+}

@@ -1,0 +1,218 @@
+//! The discrete-time simulation loop tying workload, cluster, and policy
+//! together.
+
+use crate::cluster::Cluster;
+use crate::policy::{Observation, ScalingPolicy};
+use crate::report::{SimulationReport, StepRecord};
+use crate::storage::SharedStorage;
+use crate::warmup::WarmupModel;
+use rpas_metrics::provisioning_rates;
+use rpas_traces::Trace;
+use std::sync::Arc;
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Scaling threshold `θ`: maximum average workload per node.
+    pub theta: f64,
+    /// Minimum pool size (a serving cluster never scales to zero).
+    pub min_nodes: u32,
+    /// Maximum pool size (physical/account limit).
+    pub max_nodes: u32,
+    /// Warm-up model for scale-out.
+    pub warmup: WarmupModel,
+    /// Checkpoint size new nodes rebuild from (GB).
+    pub checkpoint_gb: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            theta: 60.0,
+            min_nodes: 1,
+            max_nodes: 1024,
+            warmup: WarmupModel::default(),
+            checkpoint_gb: 4.0,
+        }
+    }
+}
+
+/// A configured simulation run.
+pub struct Simulation<'a> {
+    cfg: SimConfig,
+    trace: &'a Trace,
+}
+
+impl<'a> Simulation<'a> {
+    /// New simulation over a workload trace.
+    ///
+    /// # Panics
+    /// Panics on an empty trace, non-positive `theta`, or `min > max`.
+    pub fn new(trace: &'a Trace, cfg: SimConfig) -> Self {
+        assert!(!trace.is_empty(), "cannot simulate an empty trace");
+        assert!(cfg.theta > 0.0, "theta must be positive");
+        assert!(cfg.min_nodes <= cfg.max_nodes, "min_nodes must not exceed max_nodes");
+        assert!(cfg.min_nodes >= 1, "a serving cluster needs at least one node");
+        Self { cfg, trace }
+    }
+
+    /// Run the policy over the whole trace.
+    ///
+    /// Per step: the policy observes realised history, picks a target, the
+    /// cluster scales (scale-outs start warm-up), time advances one
+    /// interval, and the realised workload is accounted against the
+    /// effective capacity.
+    pub fn run<P: ScalingPolicy + ?Sized>(&self, policy: &mut P) -> SimulationReport {
+        let storage = Arc::new(SharedStorage::new(self.cfg.checkpoint_gb));
+        let mut cluster = Cluster::new(self.cfg.min_nodes, self.cfg.warmup, storage);
+        let dt = self.trace.interval_secs as f64;
+        let w = self.trace.as_slice();
+
+        let mut steps = Vec::with_capacity(w.len());
+        for (t, &workload) in w.iter().enumerate() {
+            let obs = Observation {
+                step: t,
+                history: &w[..t],
+                current_nodes: cluster.size(),
+                theta: self.cfg.theta,
+                min_nodes: self.cfg.min_nodes,
+            };
+            let target = policy.decide(&obs).clamp(self.cfg.min_nodes, self.cfg.max_nodes);
+            cluster.scale_to(target, t);
+            let capacity = cluster.tick(dt).max(1e-9);
+            let utilization = workload / capacity;
+            steps.push(StepRecord {
+                step: t,
+                workload,
+                target_nodes: target,
+                effective_capacity: capacity,
+                utilization,
+                violation: utilization > self.cfg.theta * (1.0 + 1e-9),
+            });
+        }
+
+        let allocations: Vec<u32> = steps.iter().map(|s| s.target_nodes).collect();
+        let provisioning =
+            provisioning_rates(&allocations, w, self.cfg.theta, self.cfg.min_nodes);
+        let violation_rate =
+            steps.iter().filter(|s| s.violation).count() as f64 / steps.len() as f64;
+
+        SimulationReport {
+            policy: policy.name().to_string(),
+            steps,
+            provisioning,
+            violation_rate,
+            scale_out_events: cluster.scale_out_events(),
+            scale_in_events: cluster.scale_in_events(),
+            checkpoint_reads: cluster.storage().stats().checkpoint_reads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{FixedPolicy, OraclePolicy};
+
+    fn trace(values: Vec<f64>) -> Trace {
+        Trace::new("w", 600, values)
+    }
+
+    #[test]
+    fn oracle_never_under_provisions() {
+        let tr = trace(vec![30.0, 130.0, 250.0, 90.0, 10.0, 400.0]);
+        let sim = Simulation::new(&tr, SimConfig::default());
+        let mut p = OraclePolicy::new(tr.values.clone());
+        let r = sim.run(&mut p);
+        assert_eq!(r.provisioning.under_rate, 0.0);
+        assert_eq!(r.provisioning.over_rate, 0.0);
+        // Warm-up makes capacity fractionally lower in scale-out steps,
+        // but at seconds-per-10-minutes it must not breach θ by > ~1%.
+        for s in &r.steps {
+            assert!(s.utilization <= 61.0, "util {}", s.utilization);
+        }
+    }
+
+    #[test]
+    fn undersized_fixed_policy_violates() {
+        let tr = trace(vec![200.0; 10]);
+        let sim = Simulation::new(&tr, SimConfig::default());
+        let mut p = FixedPolicy(1);
+        let r = sim.run(&mut p);
+        assert_eq!(r.provisioning.under_rate, 1.0);
+        assert_eq!(r.violation_rate, 1.0);
+    }
+
+    #[test]
+    fn oversized_fixed_policy_over_provisions() {
+        let tr = trace(vec![30.0; 8]);
+        let sim = Simulation::new(&tr, SimConfig::default());
+        let mut p = FixedPolicy(10);
+        let r = sim.run(&mut p);
+        assert_eq!(r.provisioning.over_rate, 1.0);
+        assert_eq!(r.violation_rate, 0.0);
+        assert_eq!(r.total_node_steps(), 80);
+    }
+
+    #[test]
+    fn max_nodes_clamps_requests() {
+        let tr = trace(vec![100.0; 4]);
+        let cfg = SimConfig { max_nodes: 2, ..Default::default() };
+        let sim = Simulation::new(&tr, cfg);
+        let mut p = FixedPolicy(50);
+        let r = sim.run(&mut p);
+        assert!(r.allocations().iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn checkpoint_reads_match_scale_outs() {
+        let tr = trace(vec![30.0, 300.0, 30.0, 300.0, 30.0]);
+        let sim = Simulation::new(&tr, SimConfig::default());
+        let mut p = OraclePolicy::new(tr.values.clone());
+        let r = sim.run(&mut p);
+        // 30→300 requires +4 nodes twice: 8 checkpoint reads.
+        assert_eq!(r.checkpoint_reads, 8);
+        assert_eq!(r.scale_out_events, 2);
+        assert_eq!(r.scale_in_events, 2);
+    }
+
+    #[test]
+    fn report_series_lengths() {
+        let tr = trace(vec![10.0; 7]);
+        let sim = Simulation::new(&tr, SimConfig::default());
+        let mut p = FixedPolicy(1);
+        let r = sim.run(&mut p);
+        assert_eq!(r.allocations().len(), 7);
+        assert_eq!(r.utilizations().len(), 7);
+        assert_eq!(r.steps.len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_trace_rejected() {
+        let tr = trace(vec![]);
+        let _ = Simulation::new(&tr, SimConfig::default());
+    }
+}
+
+#[cfg(test)]
+mod determinism_tests {
+    use super::*;
+    use crate::policy::OraclePolicy;
+    use rpas_traces::{google_like, Trace};
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let trace: Trace = google_like(11, 3).cpu().clone();
+        let run = || {
+            let sim = Simulation::new(&trace, SimConfig::default());
+            let mut p = OraclePolicy::new(trace.values.clone());
+            sim.run(&mut p)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.provisioning, b.provisioning);
+        assert_eq!(a.checkpoint_reads, b.checkpoint_reads);
+    }
+}

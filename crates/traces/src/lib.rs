@@ -1,0 +1,32 @@
+//! # rpas-traces
+//!
+//! Workload-trace substrate: synthetic resource-usage traces with the
+//! statistical structure of the Alibaba and Google cluster traces used in
+//! the paper's evaluation, plus windowing utilities that turn a trace into
+//! forecasting datasets.
+//!
+//! The real traces are multi-gigabyte downloads; per the reproduction's
+//! substitution rule (see `DESIGN.md` §2) we generate seeded synthetic
+//! equivalents that preserve the properties the paper's method is sensitive
+//! to: strong daily periodicity with weekly modulation, autocorrelated
+//! noise, heavy-tailed spikes, and 10-minute aggregation.
+
+#![warn(missing_docs)]
+
+pub mod components;
+pub mod csv;
+pub mod dataset;
+pub mod generator;
+pub mod presets;
+pub mod trace;
+
+pub use dataset::{RollingWindows, WindowDataset};
+pub use generator::{TraceGenerator, TraceGeneratorConfig};
+pub use presets::{alibaba_like, google_like, ClusterTrace};
+pub use trace::{ResourceKind, Trace};
+
+/// Steps per day at the paper's 10-minute aggregation interval.
+pub const STEPS_PER_DAY: usize = 144;
+
+/// The paper's aggregation interval, in seconds.
+pub const INTERVAL_SECS: u64 = 600;

@@ -1,0 +1,214 @@
+//! Seeded randomness helpers shared by the whole workspace.
+//!
+//! All stochastic components of the reproduction (trace generation, weight
+//! init, Monte-Carlo forecast sampling) route through explicit `u64` seeds so
+//! every experiment is deterministic. The samplers here are implemented from
+//! first principles (Box–Muller, Marsaglia–Tsang) because we only depend on
+//! `rand` for the raw bit stream.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Construct the workspace-standard RNG from a `u64` seed.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derive a child seed from a parent seed and a stream index using
+/// SplitMix64, so independent components can share one experiment seed
+/// without correlated streams.
+pub fn child_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(stream.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform sample in `(0, 1)` — open on both ends so it is safe to feed into
+/// quantile functions and logs.
+pub fn uniform_open(rng: &mut dyn RngCore) -> f64 {
+    loop {
+        let u: f64 = rng.random();
+        if u > 0.0 && u < 1.0 {
+            return u;
+        }
+    }
+}
+
+/// Standard-normal sample via the Box–Muller transform.
+pub fn standard_normal(rng: &mut dyn RngCore) -> f64 {
+    let u1 = uniform_open(rng);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Gamma(shape, scale = 1) sample via Marsaglia–Tsang, with the shape < 1
+/// boost `Gamma(a) = Gamma(a+1) · U^{1/a}`.
+///
+/// # Panics
+/// Panics if `shape <= 0`.
+pub fn gamma(rng: &mut dyn RngCore, shape: f64) -> f64 {
+    assert!(shape > 0.0, "gamma requires shape > 0, got {shape}");
+    if shape < 1.0 {
+        let u = uniform_open(rng);
+        return gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v = v * v * v;
+        let u = uniform_open(rng);
+        if u < 1.0 - 0.0331 * x.powi(4) {
+            return d * v;
+        }
+        if u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// Chi-squared sample with `nu` degrees of freedom.
+pub fn chi_squared(rng: &mut dyn RngCore, nu: f64) -> f64 {
+    2.0 * gamma(rng, nu / 2.0)
+}
+
+/// Exponential(rate) sample by inversion.
+pub fn exponential(rng: &mut dyn RngCore, rate: f64) -> f64 {
+    assert!(rate > 0.0, "exponential requires rate > 0");
+    -uniform_open(rng).ln() / rate
+}
+
+/// Pareto(scale `x_m`, shape `alpha`) sample by inversion — heavy-tailed
+/// spike magnitudes in the trace generators.
+pub fn pareto(rng: &mut dyn RngCore, x_m: f64, alpha: f64) -> f64 {
+    assert!(x_m > 0.0 && alpha > 0.0, "pareto requires positive parameters");
+    x_m / uniform_open(rng).powf(1.0 / alpha)
+}
+
+/// Poisson(lambda) sample. Uses Knuth multiplication for small λ and a
+/// normal approximation (rounded, clamped at 0) for large λ.
+pub fn poisson(rng: &mut dyn RngCore, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0, "poisson requires lambda >= 0");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= uniform_open(rng);
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+    let x = lambda + lambda.sqrt() * standard_normal(rng);
+    x.round().max(0.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        (mean, var)
+    }
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let mut a = seeded(42);
+        let mut b = seeded(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn child_seeds_differ_per_stream() {
+        let s0 = child_seed(7, 0);
+        let s1 = child_seed(7, 1);
+        let s2 = child_seed(8, 0);
+        assert_ne!(s0, s1);
+        assert_ne!(s0, s2);
+        // Deterministic.
+        assert_eq!(child_seed(7, 0), s0);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = seeded(1);
+        let xs: Vec<f64> = (0..20_000).map(|_| standard_normal(&mut rng)).collect();
+        let (m, v) = moments(&xs);
+        assert!(m.abs() < 0.03, "mean {m}");
+        assert!((v - 1.0).abs() < 0.05, "var {v}");
+    }
+
+    #[test]
+    fn gamma_moments() {
+        let mut rng = seeded(2);
+        for &shape in &[0.5, 1.0, 3.0, 9.0] {
+            let xs: Vec<f64> = (0..20_000).map(|_| gamma(&mut rng, shape)).collect();
+            let (m, v) = moments(&xs);
+            assert!((m - shape).abs() < 0.1 * shape.max(1.0), "shape {shape} mean {m}");
+            assert!((v - shape).abs() < 0.2 * shape.max(1.0), "shape {shape} var {v}");
+            assert!(xs.iter().all(|&x| x > 0.0));
+        }
+    }
+
+    #[test]
+    fn chi_squared_mean_is_nu() {
+        let mut rng = seeded(3);
+        let xs: Vec<f64> = (0..20_000).map(|_| chi_squared(&mut rng, 5.0)).collect();
+        let (m, _) = moments(&xs);
+        assert!((m - 5.0).abs() < 0.15, "mean {m}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = seeded(4);
+        let xs: Vec<f64> = (0..20_000).map(|_| exponential(&mut rng, 2.0)).collect();
+        let (m, _) = moments(&xs);
+        assert!((m - 0.5).abs() < 0.02, "mean {m}");
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut rng = seeded(5);
+        let xs: Vec<f64> = (0..5_000).map(|_| pareto(&mut rng, 2.0, 3.0)).collect();
+        assert!(xs.iter().all(|&x| x >= 2.0));
+        let (m, _) = moments(&xs);
+        // E = alpha x_m / (alpha-1) = 3.
+        assert!((m - 3.0).abs() < 0.2, "mean {m}");
+    }
+
+    #[test]
+    fn poisson_small_and_large_lambda() {
+        let mut rng = seeded(6);
+        for &lam in &[0.5, 4.0, 100.0] {
+            let xs: Vec<f64> = (0..20_000).map(|_| poisson(&mut rng, lam) as f64).collect();
+            let (m, _) = moments(&xs);
+            assert!((m - lam).abs() < 0.05 * lam.max(2.0), "lambda {lam} mean {m}");
+        }
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn uniform_open_never_hits_bounds() {
+        let mut rng = seeded(7);
+        for _ in 0..10_000 {
+            let u = uniform_open(&mut rng);
+            assert!(u > 0.0 && u < 1.0);
+        }
+    }
+}

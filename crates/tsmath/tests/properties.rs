@@ -1,0 +1,132 @@
+//! Property-based tests for the numerical substrate: distribution identities,
+//! matrix-algebra laws, and statistics invariants that must hold for *any*
+//! input, not just hand-picked examples.
+
+use proptest::prelude::*;
+use rpas_tsmath::special;
+use rpas_tsmath::stats;
+use rpas_tsmath::{Distribution, Matrix, Normal, StudentT};
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn normal_cdf_is_monotone(mu in -100.0f64..100.0, sigma in 0.1f64..50.0,
+                              a in -500.0f64..500.0, b in -500.0f64..500.0) {
+        let n = Normal::new(mu, sigma);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(n.cdf(lo) <= n.cdf(hi) + 1e-12);
+    }
+
+    #[test]
+    fn normal_quantile_inverts_cdf(mu in -100.0f64..100.0, sigma in 0.1f64..50.0,
+                                   p in 0.001f64..0.999) {
+        let n = Normal::new(mu, sigma);
+        let x = n.quantile(p);
+        prop_assert!((n.cdf(x) - p).abs() < 1e-7);
+    }
+
+    #[test]
+    fn studentt_quantile_inverts_cdf(mu in -50.0f64..50.0, sigma in 0.1f64..20.0,
+                                     nu in 1.0f64..60.0, p in 0.01f64..0.99) {
+        let t = StudentT::new(mu, sigma, nu);
+        let x = t.quantile(p);
+        prop_assert!((t.cdf(x) - p).abs() < 1e-6);
+    }
+
+    #[test]
+    fn studentt_quantiles_monotone_in_level(nu in 1.0f64..40.0,
+                                            p1 in 0.02f64..0.5, p2 in 0.5f64..0.98) {
+        let t = StudentT::new(0.0, 1.0, nu);
+        prop_assert!(t.quantile(p1) <= t.quantile(p2) + 1e-9);
+    }
+
+    #[test]
+    fn beta_inc_is_monotone_in_x(a in 0.2f64..20.0, b in 0.2f64..20.0,
+                                 x1 in 0.0f64..1.0, x2 in 0.0f64..1.0) {
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        prop_assert!(special::beta_inc(a, b, lo) <= special::beta_inc(a, b, hi) + 1e-9);
+    }
+
+    #[test]
+    fn matrix_transpose_involution(rows in 1usize..6, cols in 1usize..6,
+                                   seed in any::<u64>()) {
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let data: Vec<f64> = (0..rows * cols).map(|_| next() * 10.0).collect();
+        let m = Matrix::from_vec(rows, cols, data);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_associates_with_vectors(n in 1usize..5, seed in any::<u64>()) {
+        // (A B) x == A (B x)
+        let mut s = seed | 1;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let a = Matrix::from_vec(n, n, (0..n * n).map(|_| next()).collect());
+        let b = Matrix::from_vec(n, n, (0..n * n).map(|_| next()).collect());
+        let x: Vec<f64> = (0..n).map(|_| next()).collect();
+        let lhs = a.matmul(&b).matvec(&x);
+        let rhs = a.matvec(&b.matvec(&x));
+        for (l, r) in lhs.iter().zip(&rhs) {
+            prop_assert!((l - r).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn solve_produces_residual_zero(n in 1usize..6, seed in any::<u64>()) {
+        let mut s = seed | 1;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        // Diagonally dominant => nonsingular.
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = next();
+            }
+            a[(i, i)] += n as f64 + 1.0;
+        }
+        let b: Vec<f64> = (0..n).map(|_| next() * 5.0).collect();
+        let x = a.solve(&b).expect("diag-dominant must solve");
+        let r = a.matvec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            prop_assert!((ri - bi).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn quantile_bounded_by_min_max(xs in finite_vec(1..64), p in 0.0f64..1.0) {
+        let q = stats::quantile(&xs, p);
+        let lo = stats::min(&xs).unwrap();
+        let hi = stats::max(&xs).unwrap();
+        prop_assert!(q >= lo - 1e-9 && q <= hi + 1e-9);
+    }
+
+    #[test]
+    fn standardizer_roundtrips(xs in finite_vec(2..64)) {
+        let st = stats::Standardizer::fit(&xs);
+        for &x in &xs {
+            let back = st.inverse(st.transform(x));
+            prop_assert!((back - x).abs() < 1e-6 * (1.0 + x.abs()));
+        }
+    }
+
+    #[test]
+    fn difference_shrinks_length(xs in finite_vec(3..32), d in 1usize..3) {
+        prop_assume!(xs.len() > d);
+        let v = stats::difference(&xs, d);
+        prop_assert_eq!(v.len(), xs.len() - d);
+    }
+}

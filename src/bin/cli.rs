@@ -1,0 +1,337 @@
+//! `rpas-cli` — drive the whole pipeline from the command line.
+//!
+//! ```text
+//! rpas-cli generate --preset alibaba --days 14 --seed 7 --out trace.csv
+//! rpas-cli forecast --trace trace.csv --column alibaba-cpu --model tft \
+//!          --context 72 --horizon 72 --out forecast.csv [--save-weights m.rpnn]
+//! rpas-cli plan     --forecast forecast.csv --theta 60 --tau 0.9 --out plan.csv
+//! rpas-cli simulate --trace trace.csv --column alibaba-cpu --theta 60 \
+//!          --policy robust-0.9 [--period 144]
+//! ```
+
+use rpas::cli::ParsedArgs;
+use rpas::core::{
+    QuantilePredictivePolicy, ReactiveAvg, ReactiveMax, ReplanSchedule,
+    RobustAutoScalingManager, ScalingStrategy,
+};
+use rpas::forecast::{
+    Arima, ArimaConfig, DeepAr, DeepArConfig, Forecaster, HoltWinters, HoltWintersConfig,
+    MlpProb, MlpProbConfig, SeasonalNaive, Tft, TftConfig, SCALING_LEVELS,
+};
+use rpas::simdb::{SimConfig, Simulation};
+use rpas::traces::csv::{read_column, write_columns_to_path, write_trace};
+use rpas::traces::{alibaba_like, google_like, Trace, STEPS_PER_DAY};
+
+const USAGE: &str = "\
+rpas-cli — robust predictive auto-scaling toolbox
+
+USAGE: rpas-cli <command> [--flag value]...
+
+COMMANDS
+  generate   synthesize a workload trace
+             --preset alibaba|google  --days N (14)  --seed S (7)
+             --resource cpu|memory|disk (cpu)  --out FILE
+  forecast   train a model on a trace and emit quantile forecasts
+             --trace FILE  --column NAME
+             --model tft|deepar|mlp|arima|holt-winters|seasonal-naive
+             --context N (72)  --horizon N (72)  --train-frac F (0.7)
+             --seed S (1)  --out FILE  [--save-weights FILE]
+  plan       turn a forecast CSV into a robust capacity plan
+             --forecast FILE  --theta T  --tau Q (0.9)  --min-nodes N (1)
+             --out FILE
+  simulate   run a scaling policy through the cluster simulator
+             --trace FILE  --column NAME  --theta T (60)
+             --policy reactive-max|reactive-avg|robust-<tau>  --period N (144)
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "help" {
+        print!("{USAGE}");
+        return;
+    }
+    match run(args) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `rpas-cli help` for usage");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
+    let a = ParsedArgs::parse(args)?;
+    match a.command.as_str() {
+        "generate" => generate(&a),
+        "forecast" => forecast(&a),
+        "plan" => plan(&a),
+        "simulate" => simulate(&a),
+        other => Err(format!("unknown command {other:?}").into()),
+    }
+}
+
+fn load_trace(a: &ParsedArgs) -> Result<(Trace, String), Box<dyn std::error::Error>> {
+    let path = a.require("trace")?;
+    let column = a.require("column")?.to_string();
+    let f = std::fs::File::open(path)?;
+    let values = read_column(std::io::BufReader::new(f), &column)?
+        .ok_or_else(|| format!("column {column:?} not found in {path}"))?;
+    Ok((Trace::new(column.clone(), 600, values), column))
+}
+
+fn generate(a: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let preset = a.get("preset").unwrap_or("alibaba");
+    let days: usize = a.get_or("days", 14)?;
+    let seed: u64 = a.get_or("seed", 7)?;
+    let resource = a.get("resource").unwrap_or("cpu");
+    let out = a.require("out")?;
+
+    let cluster = match preset {
+        "alibaba" => alibaba_like(seed, days),
+        "google" => google_like(seed, days),
+        other => return Err(format!("unknown preset {other:?}").into()),
+    };
+    let kind = match resource {
+        "cpu" => rpas::traces::ResourceKind::Cpu,
+        "memory" => rpas::traces::ResourceKind::Memory,
+        "disk" => rpas::traces::ResourceKind::Disk,
+        other => return Err(format!("unknown resource {other:?}").into()),
+    };
+    let trace = cluster
+        .get(kind)
+        .ok_or_else(|| format!("preset {preset:?} has no {resource} channel"))?;
+    write_trace(out, trace)?;
+    println!("wrote {} samples of {} to {out}", trace.len(), trace.name);
+    Ok(())
+}
+
+fn forecast(a: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let (trace, _) = load_trace(a)?;
+    let model_name = a.require("model")?.to_string();
+    let model_name = model_name.as_str();
+    let context: usize = a.get_or("context", 72)?;
+    let horizon: usize = a.get_or("horizon", 72)?;
+    if context == 0 || horizon == 0 {
+        return Err("--context and --horizon must be at least 1".into());
+    }
+    let train_frac: f64 = a.get_or("train-frac", 0.7)?;
+    if !(0.0..=1.0).contains(&train_frac) {
+        return Err(format!("--train-frac must be in [0,1], got {train_frac}").into());
+    }
+    let seed: u64 = a.get_or("seed", 1)?;
+    let out = a.require("out")?;
+
+    // Seasonal-naive needs a full season of context regardless of --context.
+    let ctx_len = if matches!(model_name, "seasonal-naive" | "holt-winters") {
+        context.max(2 * STEPS_PER_DAY + 1)
+    } else {
+        context
+    };
+    let (train, test) = trace.train_test_split(train_frac);
+    if test.len() < ctx_len {
+        return Err("test split shorter than the context window".into());
+    }
+
+    let mut model = match model_name {
+        "tft" => CliModel::Tft(Tft::new(TftConfig {
+            context,
+            horizon,
+            quantiles: SCALING_LEVELS.to_vec(),
+            seed,
+            ..TftConfig::default()
+        })),
+        "deepar" => CliModel::DeepAr(DeepAr::new(DeepArConfig {
+            context,
+            train_window: context + 3 * horizon,
+            seed,
+            ..DeepArConfig::default()
+        })),
+        "mlp" => {
+            CliModel::Mlp(MlpProb::new(MlpProbConfig { context, horizon, seed, ..Default::default() }))
+        }
+        "arima" => CliModel::Arima(Arima::new(ArimaConfig::default())),
+        "holt-winters" => CliModel::HoltWinters(HoltWinters::new(HoltWintersConfig {
+            period: STEPS_PER_DAY,
+            ..Default::default()
+        })),
+        "seasonal-naive" => CliModel::SeasonalNaive(SeasonalNaive::new(STEPS_PER_DAY)),
+        other => return Err(format!("unknown model {other:?}").into()),
+    };
+
+    eprintln!("training {model_name} on {} samples...", train.len());
+    model.as_forecaster_mut().fit(&train.values)?;
+    let ctx = &test.values[test.len() - ctx_len..];
+    let qf = model.as_forecaster().forecast_quantiles(ctx, horizon, &SCALING_LEVELS)?;
+
+    let mut cols: Vec<(String, Vec<f64>)> = vec![(
+        "step".into(),
+        (0..horizon).map(|h| h as f64).collect(),
+    )];
+    for &tau in SCALING_LEVELS.iter() {
+        cols.push((format!("q{tau}"), qf.series(tau)));
+    }
+    let refs: Vec<(&str, &[f64])> = cols.iter().map(|(n, v)| (n.as_str(), v.as_slice())).collect();
+    write_columns_to_path(out, &refs)?;
+    println!("wrote {horizon}-step quantile forecast to {out}");
+
+    if let Some(wpath) = a.get("save-weights") {
+        match model.export_weights() {
+            Some(bytes) => {
+                std::fs::write(wpath, &bytes)?;
+                println!("saved model weights to {wpath}");
+            }
+            None => eprintln!("note: {model_name} does not support weight snapshots"),
+        }
+    }
+    Ok(())
+}
+
+/// Concrete model dispatch for the CLI (keeps weight export type-safe).
+/// Variant sizes differ wildly (TFT holds its positional-encoding table),
+/// but exactly one short-lived instance exists per invocation.
+#[allow(clippy::large_enum_variant)]
+enum CliModel {
+    Tft(Tft),
+    DeepAr(DeepAr),
+    Mlp(MlpProb),
+    Arima(Arima),
+    HoltWinters(HoltWinters),
+    SeasonalNaive(SeasonalNaive),
+}
+
+impl CliModel {
+    fn as_forecaster(&self) -> &dyn Forecaster {
+        match self {
+            CliModel::Tft(m) => m,
+            CliModel::DeepAr(m) => m,
+            CliModel::Mlp(m) => m,
+            CliModel::Arima(m) => m,
+            CliModel::HoltWinters(m) => m,
+            CliModel::SeasonalNaive(m) => m,
+        }
+    }
+
+    fn as_forecaster_mut(&mut self) -> &mut dyn Forecaster {
+        match self {
+            CliModel::Tft(m) => m,
+            CliModel::DeepAr(m) => m,
+            CliModel::Mlp(m) => m,
+            CliModel::Arima(m) => m,
+            CliModel::HoltWinters(m) => m,
+            CliModel::SeasonalNaive(m) => m,
+        }
+    }
+
+    fn export_weights(&mut self) -> Option<Vec<u8>> {
+        match self {
+            CliModel::Tft(m) => m.export_weights(),
+            CliModel::DeepAr(m) => m.export_weights(),
+            CliModel::Mlp(m) => m.export_weights(),
+            CliModel::Arima(_) | CliModel::HoltWinters(_) | CliModel::SeasonalNaive(_) => None,
+        }
+    }
+}
+
+fn plan(a: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let path = a.require("forecast")?;
+    let theta: f64 = a.require_parsed("theta")?;
+    if theta <= 0.0 {
+        return Err("--theta must be positive".into());
+    }
+    let tau: f64 = a.get_or("tau", 0.9)?;
+    if !(0.0..1.0).contains(&tau) || tau == 0.0 {
+        return Err(format!("--tau must be in (0,1), got {tau}").into());
+    }
+    let min_nodes: u32 = a.get_or("min-nodes", 1)?;
+    let out = a.require("out")?;
+
+    // Load the quantile grid columns back.
+    let mut levels = Vec::new();
+    let mut series: Vec<Vec<f64>> = Vec::new();
+    for &l in SCALING_LEVELS.iter() {
+        let f = std::fs::File::open(path)?;
+        if let Some(col) = read_column(std::io::BufReader::new(f), &format!("q{l}"))? {
+            levels.push(l);
+            series.push(col);
+        }
+    }
+    if levels.is_empty() {
+        return Err("no q<level> columns found in forecast file".into());
+    }
+    let horizon = series[0].len();
+    let mut values = rpas::tsmath::Matrix::zeros(horizon, levels.len());
+    for (i, col) in series.iter().enumerate() {
+        for (h, &v) in col.iter().enumerate() {
+            values[(h, i)] = v;
+        }
+    }
+    let qf = rpas::forecast::QuantileForecast::new(levels, values);
+    let manager = RobustAutoScalingManager::new(theta, min_nodes, ScalingStrategy::Fixed { tau });
+    let plan = manager.plan(&qf);
+
+    let steps: Vec<f64> = (0..plan.len()).map(|t| t as f64).collect();
+    let nodes: Vec<f64> = plan.as_slice().iter().map(|&c| c as f64).collect();
+    write_columns_to_path(out, &[("step", &steps), ("nodes", &nodes)])?;
+    println!(
+        "wrote {}-step plan (τ={tau}, θ={theta}) to {out}; total node-intervals {}",
+        plan.len(),
+        plan.total_nodes()
+    );
+    Ok(())
+}
+
+fn simulate(a: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let (trace, _) = load_trace(a)?;
+    let theta: f64 = a.get_or("theta", 60.0)?;
+    if theta <= 0.0 {
+        return Err("--theta must be positive".into());
+    }
+    let policy_name = a.require("policy")?;
+    let period: usize = a.get_or("period", STEPS_PER_DAY)?;
+    if period == 0 {
+        return Err("--period must be at least 1".into());
+    }
+
+    let cfg = SimConfig { theta, ..Default::default() };
+    let sim = Simulation::new(&trace, cfg);
+
+    let report = if policy_name == "reactive-max" {
+        let mut p = ReactiveMax::new(6);
+        sim.run(&mut p)
+    } else if policy_name == "reactive-avg" {
+        let mut p = ReactiveAvg::paper_default();
+        sim.run(&mut p)
+    } else if let Some(tau_s) = policy_name.strip_prefix("robust-") {
+        let tau: f64 = tau_s.parse().map_err(|_| format!("bad tau in {policy_name:?}"))?;
+        if tau <= 0.0 || tau >= 1.0 {
+            return Err(format!("tau in {policy_name:?} must be in (0,1)").into());
+        }
+        let split = (trace.len() / 2).max(2 * period);
+        if trace.len() <= split + period {
+            return Err("trace too short for robust simulation (need > 3 periods)".into());
+        }
+        let mut fc = SeasonalNaive::new(period);
+        fc.fit(&trace.values[..split])?;
+        let manager = RobustAutoScalingManager::new(theta, 1, ScalingStrategy::Fixed { tau });
+        let mut p = QuantilePredictivePolicy::new(
+            "robust",
+            fc,
+            manager,
+            ReplanSchedule { context: period, horizon: period.min(72) },
+        );
+        sim.run(&mut p)
+    } else {
+        return Err(format!("unknown policy {policy_name:?}").into());
+    };
+
+    println!("policy            : {}", report.policy);
+    println!("steps             : {}", report.steps.len());
+    println!("under-prov rate   : {:.4}", report.provisioning.under_rate);
+    println!("over-prov rate    : {:.4}", report.provisioning.over_rate);
+    println!("violation rate    : {:.4}", report.violation_rate);
+    println!("avg nodes         : {:.2}", report.provisioning.avg_allocated);
+    println!("scale events      : {}", report.scale_out_events + report.scale_in_events);
+    println!("checkpoint reads  : {}", report.checkpoint_reads);
+    Ok(())
+}

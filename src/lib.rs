@@ -1,0 +1,42 @@
+//! # rpas — Robust Predictive Auto-Scaling
+//!
+//! Umbrella crate re-exporting the whole workspace — a from-scratch Rust
+//! reproduction of *"Robust Auto-Scaling with Probabilistic Workload
+//! Forecasting for Cloud Databases"* (ICDE 2024). See the README for a
+//! tour, `DESIGN.md` for the paper-to-module map, and `EXPERIMENTS.md` for
+//! paper-vs-measured results.
+//!
+//! The one-screen version of the workflow (Fig. 2 of the paper):
+//!
+//! ```
+//! use rpas::core::{RobustAutoScalingManager, ScalingStrategy};
+//! use rpas::forecast::{Forecaster, SeasonalNaive, SCALING_LEVELS};
+//! use rpas::traces::{alibaba_like, STEPS_PER_DAY};
+//!
+//! // ① workload history (synthetic stand-in for a production trace)
+//! let history = alibaba_like(7, 7).cpu().clone();
+//!
+//! // ② probabilistic workload forecaster → quantile forecasts
+//! let mut forecaster = SeasonalNaive::new(STEPS_PER_DAY);
+//! forecaster.fit(&history.values)?;
+//! let context = &history.values[history.values.len() - STEPS_PER_DAY..];
+//! let forecast = forecaster.forecast_quantiles(context, 72, &SCALING_LEVELS)?;
+//!
+//! // ③ robust auto-scaling manager → capacity plan (Eq. 6, τ = 0.9)
+//! let manager = RobustAutoScalingManager::new(60.0, 1, ScalingStrategy::Fixed { tau: 0.9 });
+//! let plan = manager.plan(&forecast);
+//! assert_eq!(plan.len(), 72);
+//! # Ok::<(), rpas::forecast::ForecastError>(())
+//! ```
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use rpas_core as core;
+pub use rpas_forecast as forecast;
+pub use rpas_lp as lp;
+pub use rpas_metrics as metrics;
+pub use rpas_nn as nn;
+pub use rpas_simdb as simdb;
+pub use rpas_traces as traces;
+pub use rpas_tsmath as tsmath;

@@ -1,0 +1,130 @@
+//! End-to-end tests of the `cli` binary: the full generate → forecast →
+//! plan → simulate pipeline through the real executable, plus error-path
+//! checks. Uses the binary Cargo built for this package.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cli"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("rpas-cli-e2e-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).expect("create temp dir");
+    d
+}
+
+#[test]
+fn full_pipeline_through_binary() {
+    let dir = tmpdir("pipeline");
+    let trace = dir.join("trace.csv");
+    let fc = dir.join("fc.csv");
+    let plan = dir.join("plan.csv");
+
+    let out = cli()
+        .args(["generate", "--preset", "alibaba", "--days", "10", "--seed", "3"])
+        .args(["--out", trace.to_str().expect("utf8 path")])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("1440 samples"));
+
+    // seasonal-naive keeps the test fast; the heavy models have their own
+    // coverage in the forecast crate.
+    let out = cli()
+        .args(["forecast", "--trace", trace.to_str().expect("utf8"), "--column", "alibaba-cpu"])
+        .args(["--model", "seasonal-naive", "--out", fc.to_str().expect("utf8")])
+        .output()
+        .expect("run forecast");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let fc_text = std::fs::read_to_string(&fc).expect("forecast csv");
+    assert!(fc_text.starts_with("step,q0.5,"), "header: {}", &fc_text[..40]);
+
+    let out = cli()
+        .args(["plan", "--forecast", fc.to_str().expect("utf8")])
+        .args(["--theta", "60", "--tau", "0.9", "--out", plan.to_str().expect("utf8")])
+        .output()
+        .expect("run plan");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let plan_text = std::fs::read_to_string(&plan).expect("plan csv");
+    assert!(plan_text.starts_with("step,nodes"));
+    // Every planned node count is a positive integer.
+    for line in plan_text.lines().skip(1) {
+        let nodes: f64 = line.split(',').nth(1).expect("nodes col").parse().expect("numeric");
+        assert!(nodes >= 1.0 && nodes.fract() == 0.0, "bad node count {nodes}");
+    }
+
+    let out = cli()
+        .args(["simulate", "--trace", trace.to_str().expect("utf8"), "--column", "alibaba-cpu"])
+        .args(["--theta", "60", "--policy", "reactive-avg"])
+        .output()
+        .expect("run simulate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("under-prov rate"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn help_lists_all_commands() {
+    let out = cli().arg("help").output().expect("run help");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["generate", "forecast", "plan", "simulate"] {
+        assert!(text.contains(cmd), "help missing {cmd}");
+    }
+}
+
+#[test]
+fn bad_inputs_exit_nonzero_with_clean_errors() {
+    let dir = tmpdir("errors");
+    let trace = dir.join("trace.csv");
+    let ok = cli()
+        .args(["generate", "--days", "3", "--out", trace.to_str().expect("utf8")])
+        .output()
+        .expect("generate");
+    assert!(ok.status.success());
+
+    let cases: Vec<(Vec<&str>, &str)> = vec![
+        (vec!["unknown-command"], "unknown command"),
+        (vec!["generate", "--preset", "azure", "--out", "x.csv"], "unknown preset"),
+        (
+            vec![
+                "forecast",
+                "--trace",
+                trace.to_str().expect("utf8"),
+                "--column",
+                "missing",
+                "--model",
+                "arima",
+                "--out",
+                "x.csv",
+            ],
+            "not found",
+        ),
+        (
+            vec![
+                "simulate",
+                "--trace",
+                trace.to_str().expect("utf8"),
+                "--column",
+                "alibaba-cpu",
+                "--policy",
+                "robust-2.0",
+            ],
+            "must be in (0,1)",
+        ),
+        (vec!["plan", "--forecast"], "needs a value"),
+    ];
+    for (args, expect) in cases {
+        let out = cli().args(&args).output().expect("run");
+        assert!(!out.status.success(), "args {args:?} unexpectedly succeeded");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(expect), "args {args:?}: stderr {err:?} missing {expect:?}");
+        // A clean error, never a panic backtrace.
+        assert!(!err.contains("panicked"), "args {args:?} panicked: {err}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

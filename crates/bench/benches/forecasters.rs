@@ -1,66 +1,49 @@
-//! Criterion bench for forecaster inference paths, including the DESIGN.md
-//! DeepAR sample-count ablation: Monte-Carlo path count trades quantile
-//! accuracy for the inference latency Table II attributes to DeepAR.
+//! Bench for forecaster inference paths, including the DESIGN.md DeepAR
+//! sample-count ablation: Monte-Carlo path count trades quantile accuracy
+//! for the inference latency Table II attributes to DeepAR.
+//!
+//! Run: `cargo bench -p rpas-bench --bench forecasters`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpas_bench::harness::BenchGroup;
 use rpas_bench::{datasets, models, ExperimentProfile};
 use rpas_forecast::{DeepAr, DeepArConfig, Forecaster, SCALING_LEVELS};
 use std::hint::black_box;
 
-fn bench_forecasters(c: &mut Criterion) {
+fn main() {
     let p = ExperimentProfile::bench();
     let ds = datasets(&p).remove(0); // alibaba
     let ctx: Vec<f64> = ds.test[..p.context].to_vec();
 
     // DeepAR sample-count ablation.
-    let mut group = c.benchmark_group("deepar_sample_count");
+    let mut group = BenchGroup::new("deepar_sample_count");
     for &samples in &[10usize, 50, 100, 300] {
         let mut m = DeepAr::new(DeepArConfig {
             num_samples: samples,
             ..models::deepar(&p, 1).config().clone()
         });
         Forecaster::fit(&mut m, &ds.train).expect("deepar fit");
-        group.bench_with_input(BenchmarkId::from_parameter(samples), &m, |b, m| {
-            b.iter(|| {
-                black_box(
-                    m.forecast_quantiles(&ctx, p.horizon, &SCALING_LEVELS).expect("forecast"),
-                )
-            });
+        group.bench(&samples.to_string(), || {
+            black_box(m.forecast_quantiles(&ctx, p.horizon, &SCALING_LEVELS).expect("forecast"))
         });
     }
     group.finish();
 
     // TFT / MLP / ARIMA inference for comparison.
-    let mut group = c.benchmark_group("forecaster_inference");
+    let mut group = BenchGroup::new("forecaster_inference");
     let mut tft = models::tft(&p, &SCALING_LEVELS, 1);
     Forecaster::fit(&mut tft, &ds.train).expect("tft fit");
-    group.bench_function("tft", |b| {
-        b.iter(|| {
-            black_box(tft.forecast_quantiles(&ctx, p.horizon, &SCALING_LEVELS).expect("forecast"))
-        });
+    group.bench("tft", || {
+        black_box(tft.forecast_quantiles(&ctx, p.horizon, &SCALING_LEVELS).expect("forecast"))
     });
     let mut mlp = models::mlp(&p, 1);
     Forecaster::fit(&mut mlp, &ds.train).expect("mlp fit");
-    group.bench_function("mlp", |b| {
-        b.iter(|| {
-            black_box(mlp.forecast_quantiles(&ctx, p.horizon, &SCALING_LEVELS).expect("forecast"))
-        });
+    group.bench("mlp", || {
+        black_box(mlp.forecast_quantiles(&ctx, p.horizon, &SCALING_LEVELS).expect("forecast"))
     });
     let mut arima = models::arima();
     Forecaster::fit(&mut arima, &ds.train).expect("arima fit");
-    group.bench_function("arima", |b| {
-        b.iter(|| {
-            black_box(
-                arima.forecast_quantiles(&ctx, p.horizon, &SCALING_LEVELS).expect("forecast"),
-            )
-        });
+    group.bench("arima", || {
+        black_box(arima.forecast_quantiles(&ctx, p.horizon, &SCALING_LEVELS).expect("forecast"))
     });
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_forecasters
-}
-criterion_main!(benches);

@@ -1,14 +1,16 @@
-//! Criterion bench behind **Table II**: end-to-end execution time of one
-//! scaling decision per method (forecast + plan, or reactive window scan).
+//! Bench behind **Table II**: end-to-end execution time of one scaling
+//! decision per method (forecast + plan, or reactive window scan).
+//!
+//! Run: `cargo bench -p rpas-bench --bench overhead`
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rpas_bench::harness::BenchGroup;
 use rpas_bench::{datasets, models, ExperimentProfile};
 use rpas_core::{plan_point, ReactiveAvg, ReactiveMax, RobustAutoScalingManager, ScalingStrategy};
 use rpas_forecast::{Forecaster, PointForecaster, SCALING_LEVELS};
 use rpas_simdb::{Observation, ScalingPolicy};
 use std::hint::black_box;
 
-fn bench_overhead(c: &mut Criterion) {
+fn main() {
     let p = ExperimentProfile::bench();
     let ds = datasets(&p).remove(1); // google
     let ctx: Vec<f64> = ds.test[..p.context].to_vec();
@@ -21,61 +23,37 @@ fn bench_overhead(c: &mut Criterion) {
     qb.fit(&ds.train).expect("qb5000 fit");
     let manager = RobustAutoScalingManager::new(60.0, 1, ScalingStrategy::Fixed { tau: 0.9 });
 
-    let mut group = c.benchmark_group("table2_decision_cycle");
+    let obs = Observation {
+        step: ctx.len(),
+        history: &ctx,
+        current_nodes: 2,
+        theta: 60.0,
+        min_nodes: 1,
+    };
 
-    group.bench_function("reactive_max", |b| {
-        let mut policy = ReactiveMax::new(6);
-        let obs = Observation {
-            step: ctx.len(),
-            history: &ctx,
-            current_nodes: 2,
-            theta: 60.0,
-            min_nodes: 1,
-        };
-        b.iter(|| black_box(policy.decide(&obs)));
+    let mut group = BenchGroup::new("table2_decision_cycle");
+
+    let mut rmax = ReactiveMax::new(6);
+    group.bench("reactive_max", || black_box(rmax.decide(&obs)));
+
+    let mut ravg = ReactiveAvg::paper_default();
+    group.bench("reactive_avg", || black_box(ravg.decide(&obs)));
+
+    group.bench("qb5000", || {
+        let f = qb.forecast(&ctx, p.horizon).expect("forecast");
+        let w: Vec<f64> = f.iter().map(|v| v.max(0.0)).collect();
+        black_box(plan_point(&w, 60.0, 1))
     });
 
-    group.bench_function("reactive_avg", |b| {
-        let mut policy = ReactiveAvg::paper_default();
-        let obs = Observation {
-            step: ctx.len(),
-            history: &ctx,
-            current_nodes: 2,
-            theta: 60.0,
-            min_nodes: 1,
-        };
-        b.iter(|| black_box(policy.decide(&obs)));
+    group.bench("deepar", || {
+        let qf = deepar.forecast_quantiles(&ctx, p.horizon, &SCALING_LEVELS).expect("forecast");
+        black_box(manager.plan(&qf))
     });
 
-    group.bench_function("qb5000", |b| {
-        b.iter(|| {
-            let f = qb.forecast(&ctx, p.horizon).expect("forecast");
-            let w: Vec<f64> = f.iter().map(|v| v.max(0.0)).collect();
-            black_box(plan_point(&w, 60.0, 1))
-        });
-    });
-
-    group.bench_function("deepar", |b| {
-        b.iter(|| {
-            let qf =
-                deepar.forecast_quantiles(&ctx, p.horizon, &SCALING_LEVELS).expect("forecast");
-            black_box(manager.plan(&qf))
-        });
-    });
-
-    group.bench_function("tft", |b| {
-        b.iter(|| {
-            let qf = tft.forecast_quantiles(&ctx, p.horizon, &SCALING_LEVELS).expect("forecast");
-            black_box(manager.plan(&qf))
-        });
+    group.bench("tft", || {
+        let qf = tft.forecast_quantiles(&ctx, p.horizon, &SCALING_LEVELS).expect("forecast");
+        black_box(manager.plan(&qf))
     });
 
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_overhead
-}
-criterion_main!(benches);

@@ -1,8 +1,10 @@
-//! Criterion bench behind **Table III**'s optimization column and the
-//! DESIGN.md closed-form-vs-simplex ablation: cost of solving the
-//! auto-scaling optimization per decision horizon.
+//! Bench behind **Table III**'s optimization column and the DESIGN.md
+//! closed-form-vs-simplex ablation: cost of solving the auto-scaling
+//! optimization per decision horizon.
+//!
+//! Run: `cargo bench -p rpas-bench --bench planners`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpas_bench::harness::BenchGroup;
 use rpas_core::{
     plan_adaptive, plan_robust, plan_robust_lp, plan_staircase, AdaptiveConfig, StaircaseLevel,
 };
@@ -25,19 +27,19 @@ fn synthetic_forecast(horizon: usize, seed: u64) -> QuantileForecast {
     QuantileForecast::new(levels, values)
 }
 
-fn bench_planners(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3_optimization");
+fn main() {
+    let mut group = BenchGroup::new("table3_optimization");
     for &horizon in &[12usize, 72, 288] {
         let qf = synthetic_forecast(horizon, 42);
-        group.bench_with_input(BenchmarkId::new("closed_form_fixed", horizon), &qf, |b, qf| {
-            b.iter(|| black_box(plan_robust(qf, 0.9, 60.0, 1)));
+        group.bench(&format!("closed_form_fixed/{horizon}"), || {
+            black_box(plan_robust(&qf, 0.9, 60.0, 1))
         });
-        group.bench_with_input(BenchmarkId::new("simplex_fixed", horizon), &qf, |b, qf| {
-            b.iter(|| black_box(plan_robust_lp(qf, 0.9, 60.0, 1)));
+        group.bench(&format!("simplex_fixed/{horizon}"), || {
+            black_box(plan_robust_lp(&qf, 0.9, 60.0, 1))
         });
         let cfg = AdaptiveConfig::new(0.8, 0.95, 10.0);
-        group.bench_with_input(BenchmarkId::new("adaptive", horizon), &qf, |b, qf| {
-            b.iter(|| black_box(plan_adaptive(qf, cfg, 60.0, 1)));
+        group.bench(&format!("adaptive/{horizon}"), || {
+            black_box(plan_adaptive(&qf, cfg, 60.0, 1))
         });
         let ladder = [
             StaircaseLevel { min_uncertainty: 0.0, tau: 0.6 },
@@ -45,12 +47,9 @@ fn bench_planners(c: &mut Criterion) {
             StaircaseLevel { min_uncertainty: 10.0, tau: 0.9 },
             StaircaseLevel { min_uncertainty: 20.0, tau: 0.95 },
         ];
-        group.bench_with_input(BenchmarkId::new("staircase", horizon), &qf, |b, qf| {
-            b.iter(|| black_box(plan_staircase(qf, &ladder, 60.0, 1)));
+        group.bench(&format!("staircase/{horizon}"), || {
+            black_box(plan_staircase(&qf, &ladder, 60.0, 1))
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_planners);
-criterion_main!(benches);

@@ -15,7 +15,7 @@
 //! Run: `cargo run --release -p rpas-bench --bin ablation_grid`
 
 use rpas_bench::output::f;
-use rpas_bench::{datasets, models, write_csv, ExperimentProfile, Table};
+use rpas_bench::{datasets, models, par_map_indexed, write_csv, ExperimentProfile, Table};
 use rpas_forecast::{
     evaluate_quantile, Forecaster, MlpQuantile, MlpQuantileConfig, EVAL_LEVELS,
 };
@@ -25,28 +25,33 @@ fn main() {
     println!("Grid-family ablation — profile {:?}", p.profile);
 
     for ds in datasets(&p) {
-        let mut mlp = models::mlp(&p, 1);
-        Forecaster::fit(&mut mlp, &ds.train).expect("mlp fit");
-        let mut mlpq = MlpQuantile::new(MlpQuantileConfig {
-            context: p.context,
-            horizon: p.horizon,
-            hidden: vec![p.hidden * 2, p.hidden * 2],
-            quantiles: EVAL_LEVELS.to_vec(),
-            epochs: p.epochs * 2,
-            lr: 1e-3,
-            windows_per_epoch: p.windows_per_epoch,
-            seed: 1,
+        // The three ablation cells train independently — fan the fits out
+        // over the worker pool (each has its own fixed seed).
+        let fitted: Vec<Box<dyn Forecaster + Send>> = par_map_indexed(3, |i| {
+            let mut model: Box<dyn Forecaster + Send> = match i {
+                0 => Box::new(models::mlp(&p, 1)),
+                1 => Box::new(MlpQuantile::new(MlpQuantileConfig {
+                    context: p.context,
+                    horizon: p.horizon,
+                    hidden: vec![p.hidden * 2, p.hidden * 2],
+                    quantiles: EVAL_LEVELS.to_vec(),
+                    epochs: p.epochs * 2,
+                    lr: 1e-3,
+                    windows_per_epoch: p.windows_per_epoch,
+                    seed: 1,
+                })),
+                _ => Box::new(models::tft(&p, &EVAL_LEVELS, 1)),
+            };
+            model.fit(&ds.train).expect("ablation model fit");
+            model
         });
-        Forecaster::fit(&mut mlpq, &ds.train).expect("mlp-quantile fit");
-        let mut tft = models::tft(&p, &EVAL_LEVELS, 1);
-        Forecaster::fit(&mut tft, &ds.train).expect("tft fit");
 
         let mut table = Table::new(&["model", "objective", "architecture", "mean_wQL", "MSE"]);
         let mut csv: Vec<(String, Vec<f64>)> = Vec::new();
         let rows: Vec<(&str, &str, &str, &dyn Forecaster)> = vec![
-            ("mlp", "student-t NLL", "feed-forward", &mlp),
-            ("mlp-quantile", "pinball grid", "feed-forward", &mlpq),
-            ("tft", "pinball grid", "lstm+attention", &tft),
+            ("mlp", "student-t NLL", "feed-forward", fitted[0].as_ref()),
+            ("mlp-quantile", "pinball grid", "feed-forward", fitted[1].as_ref()),
+            ("tft", "pinball grid", "lstm+attention", fitted[2].as_ref()),
         ];
         for (name, obj, arch, model) in rows {
             let r = evaluate_quantile(model, &ds.test, p.context, p.horizon, &EVAL_LEVELS);

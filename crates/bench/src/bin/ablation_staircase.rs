@@ -7,12 +7,12 @@
 
 use rpas_bench::output::f;
 use rpas_bench::{datasets, models, write_csv, ExperimentProfile, Table};
+use rpas_core::rolling::{quantile_windows, RollingSpec};
 use rpas_core::{
     evaluate_plans_quantile, uncertainty_series, AdaptiveConfig, RobustAutoScalingManager,
     ScalingStrategy, StaircaseLevel,
 };
 use rpas_forecast::{Forecaster, SCALING_LEVELS};
-use rpas_traces::RollingWindows;
 
 const THETA: f64 = 60.0;
 
@@ -25,10 +25,9 @@ fn main() {
     Forecaster::fit(&mut deepar, &ds.train).expect("deepar fit");
 
     // Uncertainty distribution for the rungs.
-    let rw = RollingWindows::new(&ds.test, p.context, p.horizon);
+    let spec = RollingSpec::new(p.context, p.horizon);
     let mut us = Vec::new();
-    for (ctx, _) in rw.iter() {
-        let qf = deepar.forecast_quantiles(ctx, p.horizon, &SCALING_LEVELS).expect("forecast");
+    for (qf, _) in quantile_windows(&deepar, &ds.test, spec, &SCALING_LEVELS) {
         us.extend(uncertainty_series(&qf));
     }
     let q = |x: f64| rpas_tsmath::stats::quantile(&us, x);

@@ -6,7 +6,7 @@
 //! Run: `cargo run --release -p rpas-bench --bin fig10`
 
 use rpas_bench::output::f;
-use rpas_bench::{datasets, models, write_csv, ExperimentProfile, Table};
+use rpas_bench::{datasets, models, par_map, write_csv, ExperimentProfile, Table};
 use rpas_core::{evaluate_plans_quantile, RobustAutoScalingManager, ScalingStrategy};
 use rpas_forecast::{Forecaster, SCALING_LEVELS};
 
@@ -31,7 +31,9 @@ fn main() {
         ]);
         let mut taus = Vec::new();
         let (mut du, mut dov, mut tu, mut tov) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
-        for &tau in SCALING_LEVELS.iter() {
+        // Fitted models are immutable during evaluation, so the τ sweep
+        // fans out over the worker pool; results come back in grid order.
+        let sweep = par_map(&SCALING_LEVELS, |&tau| {
             let mgr = RobustAutoScalingManager::new(THETA, 1, ScalingStrategy::Fixed { tau });
             let rd = evaluate_plans_quantile(
                 &deepar,
@@ -49,6 +51,9 @@ fn main() {
                 &mgr,
                 &SCALING_LEVELS,
             );
+            (tau, rd, rt)
+        });
+        for (tau, rd, rt) in sweep {
             table.row(vec![
                 format!("{tau}"),
                 f(rd.under_rate),

@@ -12,9 +12,9 @@
 
 use rpas_bench::output::f;
 use rpas_bench::{datasets, models, write_csv, ExperimentProfile, Table};
+use rpas_core::rolling::{quantile_windows, RollingSpec};
 use rpas_core::uncertainty_series;
 use rpas_forecast::{Forecaster, EVAL_LEVELS};
-use rpas_traces::RollingWindows;
 
 fn pearson(a: &[f64], b: &[f64]) -> f64 {
     let n = a.len() as f64;
@@ -42,7 +42,7 @@ fn correlations<F: Forecaster + ?Sized>(
     context: usize,
     horizon: usize,
 ) -> CorrStats {
-    let rw = RollingWindows::new(test, context, horizon);
+    let windows = quantile_windows(model, test, RollingSpec::new(context, horizon), &EVAL_LEVELS);
     let mut u_all = Vec::new();
     let mut se_all = Vec::new();
     let mut ql_all = Vec::new();
@@ -50,9 +50,8 @@ fn correlations<F: Forecaster + ?Sized>(
     let mut r_ql = Vec::new();
     let mut sample: Option<(Vec<f64>, Vec<f64>, Vec<f64>)> = None;
 
-    for (k, (ctx, actual)) in rw.iter().enumerate() {
-        let qf = model.forecast_quantiles(ctx, horizon, &EVAL_LEVELS).expect("forecast");
-        let u = uncertainty_series(&qf);
+    for (k, (qf, actual)) in windows.iter().enumerate() {
+        let u = uncertainty_series(qf);
         let mean = qf.level_mean();
         let se: Vec<f64> = (0..horizon).map(|h| (mean[h] - actual[h]).powi(2)).collect();
         let ql: Vec<f64> = (0..horizon)
@@ -66,7 +65,7 @@ fn correlations<F: Forecaster + ?Sized>(
             .collect();
         r_se.push(pearson(&u, &se));
         r_ql.push(pearson(&u, &ql));
-        if k == rw.len() / 2 {
+        if k == windows.len() / 2 {
             sample = Some((u.clone(), se.clone(), ql.clone()));
         }
         u_all.extend(u);

@@ -6,8 +6,8 @@
 //! Run: `cargo run --release -p rpas-bench --bin fig7`
 
 use rpas_bench::{datasets, models, write_csv, ExperimentProfile};
+use rpas_core::rolling::RollingSpec;
 use rpas_forecast::{Forecaster, QuantileForecast, EVAL_LEVELS};
-use rpas_traces::RollingWindows;
 
 fn ascii_strip(actual: &[f64], qf: &QuantileForecast) -> String {
     // Each forecast step prints one row: actual position `*` inside the
@@ -48,7 +48,7 @@ fn main() {
     let mut tft = models::tft(&p, &EVAL_LEVELS, 1);
     Forecaster::fit(&mut tft, &ds.train).expect("tft fit");
 
-    let rw = RollingWindows::new(&ds.test, p.context, p.horizon);
+    let rw = RollingSpec::new(p.context, p.horizon).windows(&ds.test);
     let (ctx, actual) = rw.window(rw.len() / 2); // a mid-test sample horizon
 
     let named: Vec<(&str, &dyn Forecaster)> =

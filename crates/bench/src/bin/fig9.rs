@@ -6,7 +6,7 @@
 //! Run: `cargo run --release -p rpas-bench --bin fig9`
 
 use rpas_bench::output::f;
-use rpas_bench::{datasets, models, write_csv, ExperimentProfile, Table};
+use rpas_bench::{datasets, models, par_map, write_csv, ExperimentProfile, Table};
 use rpas_core::{
     evaluate_plans_point, evaluate_plans_quantile, evaluate_reactive, ReactiveAvg, ReactiveMax,
     RobustAutoScalingManager, ScalingStrategy,
@@ -14,104 +14,131 @@ use rpas_core::{
 use rpas_forecast::{
     Forecaster, PaddedForecaster, PointForecaster, PointFromQuantile, SCALING_LEVELS,
 };
+use rpas_metrics::ProvisioningReport;
 
 const THETA: f64 = 60.0;
 const MIN_NODES: u32 = 1;
 const TAUS: [f64; 4] = [0.6, 0.8, 0.9, 0.95];
+
+/// One independent scaler family: fit its model(s) and return the rows it
+/// contributes to the figure, in display order.
+type ScalerJob<'a> = Box<dyn Fn() -> Vec<(String, ProvisioningReport)> + Send + Sync + 'a>;
 
 fn main() {
     let p = ExperimentProfile::from_env();
     println!("Fig. 9 reproduction — profile {:?}, θ={THETA}", p.profile);
 
     for ds in datasets(&p) {
+        // Every scaler family trains and evaluates independently, so the
+        // whole figure fans out over the worker pool; per-family seeds are
+        // fixed, so the table is identical at any thread count.
+        let jobs: Vec<ScalerJob<'_>> = vec![
+            Box::new(|| {
+                let mut rmax = ReactiveMax::new(6);
+                let r1 = evaluate_reactive(&mut rmax, &ds.test, THETA, MIN_NODES);
+                let mut ravg = ReactiveAvg::paper_default();
+                let r2 = evaluate_reactive(&mut ravg, &ds.test, THETA, MIN_NODES);
+                vec![("reactive-max".into(), r1), ("reactive-avg".into(), r2)]
+            }),
+            Box::new(|| {
+                let mut qb = models::qb5000(&p, 1);
+                qb.fit(&ds.train).expect("qb5000 fit");
+                let r =
+                    evaluate_plans_point(&mut qb, &ds.test, p.context, p.horizon, THETA, MIN_NODES);
+                vec![("qb5000".into(), r)]
+            }),
+            Box::new(|| {
+                let mut qb = models::qb5000(&p, 1);
+                qb.fit(&ds.train).expect("qb5000 fit");
+                let mut qb_pad = PaddedForecaster::new(qb, "qb5000-padding", 6 * p.horizon, 0.95);
+                let r = evaluate_plans_point(
+                    &mut qb_pad,
+                    &ds.test,
+                    p.context,
+                    p.horizon,
+                    THETA,
+                    MIN_NODES,
+                );
+                vec![("qb5000-padding".into(), r)]
+            }),
+            Box::new(|| {
+                let mut tftp = models::tft_point(&p, 1);
+                Forecaster::fit(&mut tftp, &ds.train).expect("tft-point fit");
+                let mut tft_point = PointFromQuantile::new(tftp, "tft-point");
+                let r = evaluate_plans_point(
+                    &mut tft_point,
+                    &ds.test,
+                    p.context,
+                    p.horizon,
+                    THETA,
+                    MIN_NODES,
+                );
+                vec![("tft-point".into(), r)]
+            }),
+            Box::new(|| {
+                let mut tftp = models::tft_point(&p, 1);
+                Forecaster::fit(&mut tftp, &ds.train).expect("tft-point fit");
+                let mut tft_pad = PaddedForecaster::new(
+                    PointFromQuantile::new(tftp, "tft-point"),
+                    "tft-point-padding",
+                    6 * p.horizon,
+                    0.95,
+                );
+                let r = evaluate_plans_point(
+                    &mut tft_pad,
+                    &ds.test,
+                    p.context,
+                    p.horizon,
+                    THETA,
+                    MIN_NODES,
+                );
+                vec![("tft-point-padding".into(), r)]
+            }),
+            Box::new(|| {
+                let mut deepar = models::deepar(&p, 1);
+                Forecaster::fit(&mut deepar, &ds.train).expect("deepar fit");
+                let mut tft = models::tft(&p, &SCALING_LEVELS, 1);
+                Forecaster::fit(&mut tft, &ds.train).expect("tft fit");
+                let mut rows = Vec::new();
+                for &tau in &TAUS {
+                    let mgr = RobustAutoScalingManager::new(
+                        THETA,
+                        MIN_NODES,
+                        ScalingStrategy::Fixed { tau },
+                    );
+                    let r = evaluate_plans_quantile(
+                        &deepar,
+                        &ds.test,
+                        p.context,
+                        p.horizon,
+                        &mgr,
+                        &SCALING_LEVELS,
+                    );
+                    rows.push((format!("deepar-{tau}"), r));
+                    let r = evaluate_plans_quantile(
+                        &tft,
+                        &ds.test,
+                        p.context,
+                        p.horizon,
+                        &mgr,
+                        &SCALING_LEVELS,
+                    );
+                    rows.push((format!("tft-{tau}"), r));
+                }
+                rows
+            }),
+        ];
+        let results = par_map(&jobs, |job| job());
+
         let mut table = Table::new(&["scaler", "under-prov rate", "over-prov rate", "avg nodes"]);
         let mut names: Vec<String> = Vec::new();
         let mut unders: Vec<f64> = Vec::new();
         let mut overs: Vec<f64> = Vec::new();
-
-        let push = |table: &mut Table,
-                        names: &mut Vec<String>,
-                        unders: &mut Vec<f64>,
-                        overs: &mut Vec<f64>,
-                        name: String,
-                        r: rpas_metrics::ProvisioningReport| {
+        for (name, r) in results.into_iter().flatten() {
             table.row(vec![name.clone(), f(r.under_rate), f(r.over_rate), f(r.avg_allocated)]);
             names.push(name);
             unders.push(r.under_rate);
             overs.push(r.over_rate);
-        };
-
-        // Reactive baselines.
-        let mut rmax = ReactiveMax::new(6);
-        let r = evaluate_reactive(&mut rmax, &ds.test, THETA, MIN_NODES);
-        push(&mut table, &mut names, &mut unders, &mut overs, "reactive-max".into(), r);
-        let mut ravg = ReactiveAvg::paper_default();
-        let r = evaluate_reactive(&mut ravg, &ds.test, THETA, MIN_NODES);
-        push(&mut table, &mut names, &mut unders, &mut overs, "reactive-avg".into(), r);
-
-        // Point-forecast scalers.
-        let mut qb = models::qb5000(&p, 1);
-        qb.fit(&ds.train).expect("qb5000 fit");
-        let r = evaluate_plans_point(&mut qb, &ds.test, p.context, p.horizon, THETA, MIN_NODES);
-        push(&mut table, &mut names, &mut unders, &mut overs, "qb5000".into(), r);
-
-        let mut qb2 = models::qb5000(&p, 1);
-        qb2.fit(&ds.train).expect("qb5000 fit");
-        let mut qb_pad = PaddedForecaster::new(qb2, "qb5000-padding", 6 * p.horizon, 0.95);
-        let r =
-            evaluate_plans_point(&mut qb_pad, &ds.test, p.context, p.horizon, THETA, MIN_NODES);
-        push(&mut table, &mut names, &mut unders, &mut overs, "qb5000-padding".into(), r);
-
-        let mut tftp = models::tft_point(&p, 1);
-        Forecaster::fit(&mut tftp, &ds.train).expect("tft-point fit");
-        let mut tft_point = PointFromQuantile::new(tftp, "tft-point");
-        let r = evaluate_plans_point(
-            &mut tft_point,
-            &ds.test,
-            p.context,
-            p.horizon,
-            THETA,
-            MIN_NODES,
-        );
-        push(&mut table, &mut names, &mut unders, &mut overs, "tft-point".into(), r);
-
-        let mut tftp2 = models::tft_point(&p, 1);
-        Forecaster::fit(&mut tftp2, &ds.train).expect("tft-point fit");
-        let mut tft_pad = PaddedForecaster::new(
-            PointFromQuantile::new(tftp2, "tft-point"),
-            "tft-point-padding",
-            6 * p.horizon,
-            0.95,
-        );
-        let r =
-            evaluate_plans_point(&mut tft_pad, &ds.test, p.context, p.horizon, THETA, MIN_NODES);
-        push(&mut table, &mut names, &mut unders, &mut overs, "tft-point-padding".into(), r);
-
-        // Robust quantile scalers.
-        let mut deepar = models::deepar(&p, 1);
-        Forecaster::fit(&mut deepar, &ds.train).expect("deepar fit");
-        let mut tft = models::tft(&p, &SCALING_LEVELS, 1);
-        Forecaster::fit(&mut tft, &ds.train).expect("tft fit");
-        for &tau in &TAUS {
-            let mgr = RobustAutoScalingManager::new(THETA, MIN_NODES, ScalingStrategy::Fixed { tau });
-            let r = evaluate_plans_quantile(
-                &deepar,
-                &ds.test,
-                p.context,
-                p.horizon,
-                &mgr,
-                &SCALING_LEVELS,
-            );
-            push(&mut table, &mut names, &mut unders, &mut overs, format!("deepar-{tau}"), r);
-            let r = evaluate_plans_quantile(
-                &tft,
-                &ds.test,
-                p.context,
-                p.horizon,
-                &mgr,
-                &SCALING_LEVELS,
-            );
-            push(&mut table, &mut names, &mut unders, &mut overs, format!("tft-{tau}"), r);
         }
 
         table.print(&format!("Fig. 9 — under-provisioning comparison, {} trace", ds.name));

@@ -7,7 +7,9 @@
 //! (`RPAS_PROFILE=quick` for a smoke test.)
 
 use rpas_bench::output::f;
-use rpas_bench::{datasets, fit_all_quantile_models, write_csv, ExperimentProfile, Table};
+use rpas_bench::{
+    datasets, fit_all_quantile_models, par_map_indexed, write_csv, ExperimentProfile, Table,
+};
 use rpas_forecast::{evaluate_quantile, Forecaster, QuantileEvalReport, EVAL_LEVELS};
 
 fn average(reports: &[QuantileEvalReport]) -> QuantileEvalReport {
@@ -38,31 +40,16 @@ fn main() {
     );
 
     for ds in datasets(&p) {
-        // One training run per seed, in parallel (crossbeam scoped threads).
-        let runs: Vec<Vec<QuantileEvalReport>> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..p.training_runs)
-                .map(|run| {
-                    let p = &p;
-                    let train = &ds.train;
-                    let test = &ds.test;
-                    scope.spawn(move |_| {
-                        let models =
-                            fit_all_quantile_models(p, train, &EVAL_LEVELS, run as u64 + 1);
-                        let eval = |m: &dyn Forecaster| {
-                            evaluate_quantile(m, test, p.context, p.horizon, &EVAL_LEVELS)
-                        };
-                        vec![
-                            eval(&models.arima),
-                            eval(&models.mlp),
-                            eval(&models.deepar),
-                            eval(&models.tft),
-                        ]
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("run panicked")).collect()
-        })
-        .expect("scope");
+        // One training run per seed, fanned out over the std::thread
+        // worker pool; each run's seed is its index, so the averaged
+        // table is identical at any thread count (RPAS_THREADS=1 checks).
+        let runs: Vec<Vec<QuantileEvalReport>> = par_map_indexed(p.training_runs, |run| {
+            let models = fit_all_quantile_models(&p, &ds.train, &EVAL_LEVELS, run as u64 + 1);
+            let eval = |m: &dyn Forecaster| {
+                evaluate_quantile(m, &ds.test, p.context, p.horizon, &EVAL_LEVELS)
+            };
+            vec![eval(&models.arima), eval(&models.mlp), eval(&models.deepar), eval(&models.tft)]
+        });
 
         let mut table = Table::new(&[
             "model",

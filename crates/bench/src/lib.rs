@@ -2,7 +2,7 @@
 //!
 //! The experiment harness: shared model constructors, dataset preparation,
 //! and table/CSV output used by the per-table/per-figure binaries (see
-//! `src/bin/`) and the Criterion benches.
+//! `src/bin/`) and the `benches/` micro-benchmarks (see [`harness`]).
 //!
 //! Every binary honours the `RPAS_PROFILE` environment variable:
 //!
@@ -12,12 +12,15 @@
 //! * `quick` — scaled-down settings for smoke-testing the harness
 //!   (minutes → seconds). Numbers are NOT comparable to the paper.
 
+pub mod harness;
 pub mod models;
 pub mod output;
+pub mod par;
 pub mod profile;
 
 pub use models::{fit_all_quantile_models, FittedQuantileModels};
 pub use output::{results_path, write_csv, Table};
+pub use par::{par_map, par_map_indexed};
 pub use profile::{ExperimentProfile, Profile};
 
 use rpas_traces::{alibaba_like, google_like, Trace};

@@ -78,8 +78,13 @@ pub fn f(v: f64) -> String {
     }
 }
 
-/// Where experiment artifacts are written (`results/` in the workspace).
+/// Where experiment artifacts are written: `$RPAS_RESULTS_DIR` when set
+/// (used by `scripts/verify.sh` to compare runs in isolation), otherwise
+/// `results/` in the workspace.
 pub fn results_path(name: &str) -> PathBuf {
+    if let Ok(dir) = std::env::var("RPAS_RESULTS_DIR") {
+        return PathBuf::from(dir).join(name);
+    }
     let root = std::env::var("CARGO_MANIFEST_DIR")
         .map(PathBuf::from)
         .map(|p| p.parent().and_then(|p| p.parent()).map(|p| p.to_path_buf()).unwrap_or(p))

@@ -8,21 +8,11 @@ use rpas_forecast::{ErrorFeedback, Forecaster, PointForecaster};
 use rpas_metrics::provisioning::required_nodes;
 use rpas_simdb::{Observation, ScalingPolicy};
 
-/// Rolling replan parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ReplanSchedule {
-    /// Context window fed to the forecaster.
-    pub context: usize,
-    /// Plan length per replan (the decision horizon `H`).
-    pub horizon: usize,
-}
-
-impl ReplanSchedule {
-    /// The paper's 12-hour context / 12-hour horizon at 10-minute steps.
-    pub fn paper_default() -> Self {
-        Self { context: 72, horizon: 72 }
-    }
-}
+/// Rolling replan parameters: the online policies replan on exactly the
+/// grid of the offline rolling-origin protocol, so this is the same
+/// `(context, horizon)` pair as [`crate::rolling::RollingSpec`] — kept
+/// under its established name here.
+pub use crate::rolling::RollingSpec as ReplanSchedule;
 
 /// Bootstrap behaviour while the realised history is still shorter than
 /// the context window: size the cluster reactively for the recent peak.

@@ -5,9 +5,9 @@
 //! allocation.
 
 use crate::manager::RobustAutoScalingManager;
+use crate::rolling::{self, RollingSpec};
 use rpas_forecast::Forecaster;
 use rpas_metrics::{provisioning_rates, ProvisioningReport};
-use rpas_traces::RollingWindows;
 
 /// One decision window of a backtest.
 #[derive(Debug, Clone)]
@@ -62,38 +62,35 @@ pub fn backtest_quantile<F: Forecaster + ?Sized>(
     manager: &RobustAutoScalingManager,
     levels: &[f64],
 ) -> BacktestReport {
-    let rw = RollingWindows::new(test_series, context, horizon);
-    assert!(!rw.is_empty(), "test series too short for one decision window");
+    let spec = RollingSpec::new(context, horizon);
+    let planned = rolling::plan_windows(forecaster, test_series, spec, manager, levels);
 
-    let mut windows = Vec::with_capacity(rw.len());
+    let mut windows = Vec::with_capacity(planned.len());
     let mut all_alloc: Vec<u32> = Vec::new();
     let mut all_actual: Vec<f64> = Vec::new();
     let mut regret: i64 = 0;
 
-    for (k, (ctx, actual)) in rw.iter().enumerate() {
-        let qf = forecaster
-            .forecast_quantiles(ctx, horizon, levels)
-            .expect("forecast failed during backtest");
-        let plan = manager.plan(&qf);
-        let alloc = plan.as_slice();
-        let report = provisioning_rates(alloc, actual, manager.theta(), manager.min_nodes());
+    for w in &planned {
+        let alloc = w.plan.as_slice();
+        let report = provisioning_rates(alloc, &w.actuals, manager.theta(), manager.min_nodes());
         let node_steps: u64 = alloc.iter().map(|&c| c as u64).sum();
-        let oracle: u64 = actual
+        let oracle: u64 = w
+            .actuals
             .iter()
-            .map(|&w| {
-                rpas_metrics::provisioning::required_nodes(w, manager.theta(), manager.min_nodes())
+            .map(|&x| {
+                rpas_metrics::provisioning::required_nodes(x, manager.theta(), manager.min_nodes())
                     as u64
             })
             .sum();
         regret += node_steps as i64 - oracle as i64;
         windows.push(BacktestWindow {
-            start: context + k * horizon,
+            start: w.start,
             report,
             node_steps,
             oracle_node_steps: oracle,
         });
         all_alloc.extend_from_slice(alloc);
-        all_actual.extend_from_slice(actual);
+        all_actual.extend_from_slice(&w.actuals);
     }
 
     BacktestReport {

@@ -5,10 +5,10 @@
 
 use crate::manager::RobustAutoScalingManager;
 use crate::plan::plan_point;
+use crate::rolling::{self, RollingSpec};
 use rpas_forecast::{ErrorFeedback, Forecaster, PointForecaster};
 use rpas_metrics::{provisioning_rates, ProvisioningReport};
 use rpas_simdb::{Observation, ScalingPolicy};
-use rpas_traces::RollingWindows;
 
 /// Evaluate a quantile forecaster + manager over rolling decision windows.
 ///
@@ -22,16 +22,12 @@ pub fn evaluate_plans_quantile<F: Forecaster + ?Sized>(
     manager: &RobustAutoScalingManager,
     levels: &[f64],
 ) -> ProvisioningReport {
-    let rw = RollingWindows::new(test_series, context, horizon);
-    assert!(!rw.is_empty(), "test series too short for one decision window");
+    let spec = RollingSpec::new(context, horizon);
     let mut allocations: Vec<u32> = Vec::new();
     let mut actuals: Vec<f64> = Vec::new();
-    for (ctx, actual) in rw.iter() {
-        let qf = forecaster
-            .forecast_quantiles(ctx, horizon, levels)
-            .expect("forecast failed during scaling evaluation");
-        allocations.extend_from_slice(manager.plan(&qf).as_slice());
-        actuals.extend_from_slice(actual);
+    for w in rolling::plan_windows(forecaster, test_series, spec, manager, levels) {
+        allocations.extend_from_slice(w.plan.as_slice());
+        actuals.extend_from_slice(&w.actuals);
     }
     provisioning_rates(&allocations, &actuals, manager.theta(), manager.min_nodes())
 }
@@ -56,7 +52,8 @@ pub fn evaluate_plans_precomputed(
 }
 
 /// Precompute the `(forecast, actuals)` windows that
-/// [`evaluate_plans_precomputed`] consumes.
+/// [`evaluate_plans_precomputed`] consumes. Thin wrapper around
+/// [`rolling::quantile_windows`], kept for its established signature.
 pub fn forecast_windows<F: Forecaster + ?Sized>(
     forecaster: &F,
     test_series: &[f64],
@@ -64,15 +61,7 @@ pub fn forecast_windows<F: Forecaster + ?Sized>(
     horizon: usize,
     levels: &[f64],
 ) -> Vec<(rpas_forecast::QuantileForecast, Vec<f64>)> {
-    let rw = RollingWindows::new(test_series, context, horizon);
-    rw.iter()
-        .map(|(ctx, actual)| {
-            let qf = forecaster
-                .forecast_quantiles(ctx, horizon, levels)
-                .expect("forecast failed during evaluation");
-            (qf, actual.to_vec())
-        })
-        .collect()
+    rolling::quantile_windows(forecaster, test_series, RollingSpec::new(context, horizon), levels)
 }
 
 /// Evaluate a point forecaster (Def. 3 planning) over the same protocol,
@@ -86,7 +75,7 @@ pub fn evaluate_plans_point<P: PointForecaster + ErrorFeedback + ?Sized>(
     theta: f64,
     min_nodes: u32,
 ) -> ProvisioningReport {
-    let rw = RollingWindows::new(test_series, context, horizon);
+    let rw = RollingSpec::new(context, horizon).windows(test_series);
     assert!(!rw.is_empty(), "test series too short for one decision window");
     let mut allocations: Vec<u32> = Vec::new();
     let mut actuals: Vec<f64> = Vec::new();

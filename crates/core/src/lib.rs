@@ -18,6 +18,9 @@
 //!   forecast → plan together.
 //! * [`autoscaler`] — end-to-end [`rpas_simdb::ScalingPolicy`]
 //!   implementations that own a forecaster and replan on a rolling horizon.
+//! * [`rolling`] — the shared rolling-origin evaluation engine: window
+//!   spec/iterator plus the forecast and fit/forecast/plan drivers behind
+//!   every offline experiment.
 //! * [`eval`] — the Fig. 9–12 evaluation protocol (rolling plans vs
 //!   realised workload).
 
@@ -32,6 +35,7 @@ pub mod multi;
 pub mod plan;
 pub mod reactive;
 pub mod robust;
+pub mod rolling;
 pub mod thrash;
 pub mod uncertainty;
 
@@ -47,5 +51,6 @@ pub use multi::{plan_multi_resource, MultiResourcePlan, ResourceDimension};
 pub use plan::{plan_point, plan_point_lp, CapacityPlan};
 pub use reactive::{ReactiveAvg, ReactiveMax};
 pub use robust::{plan_robust, plan_robust_lp};
+pub use rolling::{plan_windows, quantile_windows, PlannedWindow, RollingSpec};
 pub use thrash::{smooth_plan, ThrashConfig, ThrashLimited};
 pub use uncertainty::{uncertainty_at, uncertainty_series};

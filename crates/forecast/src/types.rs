@@ -109,6 +109,27 @@ impl QuantileForecast {
     /// Forecast at `(step, level)`, interpolating linearly between the
     /// stored levels and clamping outside their range.
     ///
+    /// Boundary behavior, precisely:
+    ///
+    /// * **Exact grid point** — a `level` equal to a stored level (within
+    ///   `1e-12`, absorbing float noise from e.g. `0.1 + 0.8`) returns
+    ///   that column's value directly, never an interpolation against a
+    ///   neighbour.
+    /// * **Between grid points** — linear interpolation in level space
+    ///   between the two bracketing columns.
+    /// * **Below the lowest stored level** — clamps to the first column.
+    ///   This is the `position(..) == Some(0)` arm: the first stored
+    ///   level already satisfies `l >= level`, so there is no left
+    ///   neighbour to interpolate against; extrapolating the tail
+    ///   behavior of the predictive distribution from two interior
+    ///   quantiles would fabricate information the forecast does not
+    ///   carry. (The same arm serves an exact match on the lowest level.)
+    /// * **Above the highest stored level** — clamps to the last column,
+    ///   symmetrically.
+    ///
+    /// Because construction rearranges crossing quantiles, the result is
+    /// monotone non-decreasing in `level` for a fixed `step`.
+    ///
     /// # Panics
     /// Panics if `step` is out of range or `level` outside `(0, 1)`.
     pub fn at(&self, step: usize, level: f64) -> f64 {
@@ -116,16 +137,19 @@ impl QuantileForecast {
         assert!(level > 0.0 && level < 1.0, "quantile level out of range");
         let row = self.values.row(step);
         match self.levels.iter().position(|&l| l >= level) {
+            // level <= lowest stored level: clamp (or exact match on it).
             Some(0) => row[0],
             Some(i) => {
                 let (l0, l1) = (self.levels[i - 1], self.levels[i]);
                 if (l1 - level).abs() < 1e-12 {
+                    // Exact grid point (modulo float noise): direct lookup.
                     row[i]
                 } else {
                     let t = (level - l0) / (l1 - l0);
                     row[i - 1] + t * (row[i] - row[i - 1])
                 }
             }
+            // level above the highest stored level: clamp.
             None => *row.last().expect("non-empty levels"),
         }
     }
@@ -291,6 +315,40 @@ mod tests {
         // Clamped outside the grid.
         assert_eq!(f.at(0, 0.05), 1.0);
         assert_eq!(f.at(0, 0.99), 3.0);
+    }
+
+    #[test]
+    fn at_boundary_behavior() {
+        let f = qf();
+        // Exact match on the lowest level goes through the Some(0) arm.
+        assert_eq!(f.at(0, 0.1), 1.0);
+        // Anything below the lowest level clamps to the first column.
+        assert_eq!(f.at(0, 0.0001), 1.0);
+        assert_eq!(f.at(1, 0.05), 10.0);
+        // Anything above the highest level clamps to the last column.
+        assert_eq!(f.at(0, 0.999), 3.0);
+        assert_eq!(f.at(1, 0.95), 30.0);
+        // Exact interior grid points are direct lookups, including levels
+        // carrying float noise within the 1e-12 snap tolerance.
+        assert_eq!(f.at(0, 0.5), 2.0);
+        assert_eq!(f.at(0, 0.5 - 1e-13), 2.0);
+        // Monotone in level for a fixed step.
+        let probes = [0.05, 0.1, 0.3, 0.5, 0.7, 0.9, 0.95];
+        for w in probes.windows(2) {
+            assert!(f.at(0, w[0]) <= f.at(0, w[1]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile level out of range")]
+    fn at_rejects_level_one() {
+        qf().at(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "forecast step out of range")]
+    fn at_rejects_step_past_horizon() {
+        qf().at(2, 0.5);
     }
 
     #[test]

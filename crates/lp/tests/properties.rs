@@ -2,18 +2,16 @@
 //! separable covering problems (the auto-scaling LP shape) and general
 //! feasibility invariants.
 
-use proptest::prelude::*;
 use rpas_lp::{solve, LpProblem, Relation};
+use rpas_tsmath::propcheck::forall;
+use rpas_tsmath::prop_assert;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn covering_lp_matches_closed_form(
-        w in prop::collection::vec(0.0f64..500.0, 1..12),
-        theta in 1.0f64..100.0,
-    ) {
+#[test]
+fn covering_lp_matches_closed_form() {
+    forall("covering_lp_matches_closed_form", 64, |g| {
         // min Σ c_t s.t. θ c_t ≥ w_t  ⇒  c_t* = w_t/θ.
+        let w = g.vec_f64(0.0, 500.0, 1, 12);
+        let theta = g.f64_in(1.0, 100.0);
         let n = w.len();
         let mut p = LpProblem::minimize(vec![1.0; n]);
         for (t, &wt) in w.iter().enumerate() {
@@ -23,31 +21,26 @@ proptest! {
         }
         let s = solve(&p).expect("covering LP must be feasible");
         for (t, &wt) in w.iter().enumerate() {
-            prop_assert!((s.x[t] - wt / theta).abs() < 1e-6);
+            prop_assert!((s.x[t] - wt / theta).abs() < 1e-6, "x[{t}] = {} ≠ {}", s.x[t], wt / theta);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn solution_satisfies_all_constraints(
-        seed in any::<u64>(),
-        n in 1usize..5,
-        m in 1usize..6,
-    ) {
+#[test]
+fn solution_satisfies_all_constraints() {
+    forall("solution_satisfies_all_constraints", 64, |g| {
         // Random Ge-constraints with non-negative coefficients are always
         // feasible (scale x up enough) and bounded (costs positive).
-        let mut s = seed | 1;
-        let mut next = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (s >> 11) as f64 / (1u64 << 53) as f64
-        };
-        let mut p = LpProblem::minimize((0..n).map(|_| 0.1 + next()).collect());
+        let n = g.usize_in(1, 5);
+        let m = g.usize_in(1, 6);
+        let mut p = LpProblem::minimize((0..n).map(|_| 0.1 + g.f64_in(0.0, 1.0)).collect());
         let mut rows = Vec::new();
         for _ in 0..m {
-            let coeffs: Vec<f64> = (0..n).map(|_| next()).collect();
+            let mut coeffs: Vec<f64> = (0..n).map(|_| g.f64_in(0.0, 1.0)).collect();
             // Ensure at least one strictly positive coefficient.
-            let mut coeffs = coeffs;
             coeffs[0] += 0.5;
-            let rhs = next() * 10.0;
+            let rhs = g.f64_in(0.0, 10.0);
             rows.push((coeffs.clone(), rhs));
             p = p.constraint(coeffs, Relation::Ge, rhs);
         }
@@ -57,13 +50,20 @@ proptest! {
             prop_assert!(lhs >= rhs - 1e-6, "constraint violated: {lhs} < {rhs}");
         }
         prop_assert!(sol.x.iter().all(|&v| v >= -1e-9), "negative variable");
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn objective_is_optimal_for_single_var(c in 0.1f64..10.0, b in 0.0f64..100.0, a in 0.5f64..5.0) {
+#[test]
+fn objective_is_optimal_for_single_var() {
+    forall("objective_is_optimal_for_single_var", 64, |g| {
         // min c·x s.t. a·x ≥ b  ⇒  x* = b/a.
+        let c = g.f64_in(0.1, 10.0);
+        let b = g.f64_in(0.0, 100.0);
+        let a = g.f64_in(0.5, 5.0);
         let p = LpProblem::minimize(vec![c]).constraint(vec![a], Relation::Ge, b);
         let s = solve(&p).unwrap();
-        prop_assert!((s.objective - c * b / a).abs() < 1e-6);
-    }
+        prop_assert!((s.objective - c * b / a).abs() < 1e-6, "obj {} ≠ {}", s.objective, c * b / a);
+        Ok(())
+    });
 }

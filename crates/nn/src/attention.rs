@@ -7,7 +7,7 @@
 //! slices of one projection.
 
 use crate::{Layer, Param};
-use rand::RngCore;
+use rpas_tsmath::rng::RngCore;
 use rpas_tsmath::Matrix;
 
 #[derive(Debug, Clone)]

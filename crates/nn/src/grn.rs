@@ -5,7 +5,7 @@
 use crate::activation::{sigmoid, ActLayer, Activation};
 use crate::linear::Dense;
 use crate::{Layer, Param};
-use rand::RngCore;
+use rpas_tsmath::rng::RngCore;
 
 /// Layer normalisation with learned gain `γ` and bias `β`.
 #[derive(Debug, Clone)]

@@ -6,7 +6,7 @@
 
 use crate::activation::sigmoid;
 use crate::{Layer, Param};
-use rand::RngCore;
+use rpas_tsmath::rng::RngCore;
 use rpas_tsmath::vector;
 
 /// Per-timestep cache of the quantities the backward pass needs.

@@ -1,7 +1,7 @@
 //! Fully-connected (dense) layer with a cache stack for sequence unrolling.
 
 use crate::{Layer, Param};
-use rand::RngCore;
+use rpas_tsmath::rng::RngCore;
 use rpas_tsmath::vector;
 
 /// Dense layer `y = W x + b` with `W` stored row-major as `out × in`.

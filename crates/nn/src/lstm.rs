@@ -5,7 +5,7 @@
 
 use crate::activation::sigmoid;
 use crate::{Layer, Param};
-use rand::RngCore;
+use rpas_tsmath::rng::RngCore;
 use rpas_tsmath::vector;
 
 #[derive(Debug, Clone)]

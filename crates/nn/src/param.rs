@@ -1,6 +1,6 @@
 //! Trainable parameter: value + accumulated gradient + Adam moment buffers.
 
-use rand::RngCore;
+use rpas_tsmath::rng::RngCore;
 use rpas_tsmath::rng;
 
 /// A flat trainable parameter tensor.

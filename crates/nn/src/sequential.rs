@@ -4,7 +4,7 @@
 use crate::activation::{ActLayer, Activation};
 use crate::linear::Dense;
 use crate::{Layer, Param};
-use rand::RngCore;
+use rpas_tsmath::rng::RngCore;
 
 /// Feed-forward network `dense → act → dense → act → … → dense` with a
 /// linear final layer.

@@ -16,10 +16,49 @@
 //! different architecture fails instead of silently corrupting weights.
 
 use crate::Layer;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const MAGIC: u32 = 0x5250_4E4E; // "RPNN"
 const VERSION: u16 = 1;
+
+/// Little-endian reader over a byte slice with explicit bounds checks, so
+/// corrupt snapshots surface as [`SerializeError::Truncated`], never panics.
+struct Cursor<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SerializeError> {
+        if self.buf.len() < n {
+            return Err(SerializeError::Truncated);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn get_u16_le(&mut self) -> Result<u16, SerializeError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn get_u32_le(&mut self) -> Result<u32, SerializeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn get_f64_le(&mut self) -> Result<f64, SerializeError> {
+        let b = self.take(8)?;
+        Ok(f64::from_le_bytes(b.try_into().expect("take(8) returns 8 bytes")))
+    }
+}
 
 /// Errors restoring a weight snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,27 +98,27 @@ impl std::error::Error for SerializeError {}
 
 /// Snapshot the parameters of a layer stack (in `visit_params` order) plus
 /// model-level scalar `extras`.
-pub fn save(layers: &mut [&mut dyn Layer], extras: &[f64]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(1024);
-    buf.put_u32_le(MAGIC);
-    buf.put_u16_le(VERSION);
-    buf.put_u16_le(extras.len() as u16);
+pub fn save(layers: &mut [&mut dyn Layer], extras: &[f64]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(1024);
+    buf.extend_from_slice(&MAGIC.to_le_bytes());
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&(extras.len() as u16).to_le_bytes());
     for &e in extras {
-        buf.put_f64_le(e);
+        buf.extend_from_slice(&e.to_le_bytes());
     }
-    buf.put_u16_le(layers.len() as u16);
+    buf.extend_from_slice(&(layers.len() as u16).to_le_bytes());
     for layer in layers.iter_mut() {
         let mut params: Vec<Vec<f64>> = Vec::new();
         layer.visit_params(&mut |p| params.push(p.data.clone()));
-        buf.put_u16_le(params.len() as u16);
+        buf.extend_from_slice(&(params.len() as u16).to_le_bytes());
         for p in params {
-            buf.put_u32_le(p.len() as u32);
+            buf.extend_from_slice(&(p.len() as u32).to_le_bytes());
             for v in p {
-                buf.put_f64_le(v);
+                buf.extend_from_slice(&v.to_le_bytes());
             }
         }
     }
-    buf.freeze()
+    buf
 }
 
 /// Restore a snapshot into a layer stack with the same architecture.
@@ -89,31 +128,22 @@ pub fn save(layers: &mut [&mut dyn Layer], extras: &[f64]) -> Bytes {
 /// Fails on bad magic/version, truncation, or any shape mismatch; on error
 /// the layers may be partially updated and should be discarded.
 pub fn load(layers: &mut [&mut dyn Layer], data: &[u8]) -> Result<Vec<f64>, SerializeError> {
-    let mut buf = data;
-    let need = |buf: &&[u8], n: usize| {
-        if buf.remaining() < n {
-            Err(SerializeError::Truncated)
-        } else {
-            Ok(())
-        }
-    };
+    let mut buf = Cursor::new(data);
 
-    need(&buf, 4)?;
-    if buf.get_u32_le() != MAGIC {
+    if buf.get_u32_le()? != MAGIC {
         return Err(SerializeError::BadMagic);
     }
-    need(&buf, 2)?;
-    let ver = buf.get_u16_le();
+    let ver = buf.get_u16_le()?;
     if ver != VERSION {
         return Err(SerializeError::BadVersion(ver));
     }
-    need(&buf, 2)?;
-    let n_extras = buf.get_u16_le() as usize;
-    need(&buf, 8 * n_extras)?;
-    let extras: Vec<f64> = (0..n_extras).map(|_| buf.get_f64_le()).collect();
+    let n_extras = buf.get_u16_le()? as usize;
+    let mut extras = Vec::with_capacity(n_extras);
+    for _ in 0..n_extras {
+        extras.push(buf.get_f64_le()?);
+    }
 
-    need(&buf, 2)?;
-    let n_layers = buf.get_u16_le() as usize;
+    let n_layers = buf.get_u16_le()? as usize;
     if n_layers != layers.len() {
         return Err(SerializeError::ShapeMismatch {
             expected: format!("{} layers", layers.len()),
@@ -122,8 +152,7 @@ pub fn load(layers: &mut [&mut dyn Layer], data: &[u8]) -> Result<Vec<f64>, Seri
     }
 
     for (li, layer) in layers.iter_mut().enumerate() {
-        need(&buf, 2)?;
-        let n_params = buf.get_u16_le() as usize;
+        let n_params = buf.get_u16_le()? as usize;
         let mut expected_params = 0;
         layer.visit_params(&mut |_| expected_params += 1);
         if n_params != expected_params {
@@ -136,10 +165,12 @@ pub fn load(layers: &mut [&mut dyn Layer], data: &[u8]) -> Result<Vec<f64>, Seri
         // return), then validate and write.
         let mut incoming: Vec<Vec<f64>> = Vec::with_capacity(n_params);
         for _ in 0..n_params {
-            need(&buf, 4)?;
-            let len = buf.get_u32_le() as usize;
-            need(&buf, 8 * len)?;
-            incoming.push((0..len).map(|_| buf.get_f64_le()).collect());
+            let len = buf.get_u32_le()? as usize;
+            let mut values = Vec::with_capacity(len);
+            for _ in 0..len {
+                values.push(buf.get_f64_le()?);
+            }
+            incoming.push(values);
         }
         let mut idx = 0;
         let mut mismatch: Option<(usize, usize, usize)> = None;

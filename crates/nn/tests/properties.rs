@@ -1,18 +1,18 @@
 //! Property-based tests for the neural substrate: invariants that must hold
 //! for arbitrary shapes, seeds, and inputs.
 
-use proptest::prelude::*;
 use rpas_nn::loss;
 use rpas_nn::{Activation, Adam, Dense, GruCell, Layer, LstmCell, Mlp, Param};
+use rpas_tsmath::propcheck::{forall, prop_discard};
 use rpas_tsmath::rng::seeded;
+use rpas_tsmath::{prop_assert, prop_assert_eq};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn dense_forward_is_affine(seed in any::<u64>(), a in -3.0f64..3.0) {
+#[test]
+fn dense_forward_is_affine() {
+    forall("dense_forward_is_affine", 48, |g| {
         // f(a·x) − f(0) = a · (f(x) − f(0)) for a linear layer.
-        let mut r = seeded(seed);
+        let mut r = seeded(g.u64());
+        let a = g.f64_in(-3.0, 3.0);
         let d = Dense::new(3, 2, &mut r);
         let x = [0.3, -0.7, 1.1];
         let zero = d.apply(&[0.0; 3]);
@@ -22,25 +22,33 @@ proptest! {
         for i in 0..2 {
             let lhs = fax[i] - zero[i];
             let rhs = a * (fx[i] - zero[i]);
-            prop_assert!((lhs - rhs).abs() < 1e-9);
+            prop_assert!((lhs - rhs).abs() < 1e-9, "{lhs} vs {rhs}");
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn gru_state_stays_bounded(seed in any::<u64>(), steps in 1usize..30) {
-        let mut r = seeded(seed);
-        let g = GruCell::new(1, 4, &mut r);
-        let mut h = g.init_state();
+#[test]
+fn gru_state_stays_bounded() {
+    forall("gru_state_stays_bounded", 48, |g| {
+        let mut r = seeded(g.u64());
+        let steps = g.usize_in(1, 30);
+        let gru = GruCell::new(1, 4, &mut r);
+        let mut h = gru.init_state();
         for t in 0..steps {
-            h = g.apply(&[(t as f64).sin() * 3.0], &h);
+            h = gru.apply(&[(t as f64).sin() * 3.0], &h);
         }
         // h is always a convex combination of tanh outputs and 0-init state.
         prop_assert!(h.iter().all(|v| v.abs() <= 1.0 + 1e-12));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn lstm_hidden_bounded_by_one(seed in any::<u64>(), steps in 1usize..20) {
-        let mut r = seeded(seed);
+#[test]
+fn lstm_hidden_bounded_by_one() {
+    forall("lstm_hidden_bounded_by_one", 48, |g| {
+        let mut r = seeded(g.u64());
+        let steps = g.usize_in(1, 20);
         let l = LstmCell::new(2, 3, &mut r);
         let mut s = l.init_state();
         for t in 0..steps {
@@ -48,65 +56,91 @@ proptest! {
         }
         // h = o ∘ tanh(c), |o| ≤ 1, |tanh| ≤ 1.
         prop_assert!(s.h.iter().all(|v| v.abs() <= 1.0));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn pinball_loss_nonnegative(pred in -100.0f64..100.0, target in -100.0f64..100.0,
-                                tau in 0.01f64..0.99) {
+#[test]
+fn pinball_loss_nonnegative() {
+    forall("pinball_loss_nonnegative", 48, |g| {
+        let pred = g.f64_in(-100.0, 100.0);
+        let target = g.f64_in(-100.0, 100.0);
+        let tau = g.f64_in(0.01, 0.99);
         let (l, _) = loss::pinball(pred, target, tau);
         prop_assert!(l >= 0.0);
         // Zero exactly when pred == target.
         let (l0, _) = loss::pinball(target, target, tau);
         prop_assert!(l0 == 0.0);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn pinball_grid_nonnegative(target in -50.0f64..50.0, seed in any::<u64>()) {
-        let mut s = seed | 1;
-        let mut next = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((s >> 11) as f64 / (1u64 << 53) as f64) * 20.0 - 10.0
-        };
+#[test]
+fn pinball_grid_nonnegative() {
+    forall("pinball_grid_nonnegative", 48, |g| {
+        let target = g.f64_in(-50.0, 50.0);
         let taus = [0.1, 0.5, 0.9];
-        let preds = [next(), next(), next()];
-        let (l, g) = loss::pinball_grid(&preds, target, &taus);
+        let preds = [g.f64_in(-10.0, 10.0), g.f64_in(-10.0, 10.0), g.f64_in(-10.0, 10.0)];
+        let (l, grad) = loss::pinball_grid(&preds, target, &taus);
         prop_assert!(l >= 0.0);
-        prop_assert_eq!(g.len(), 3);
-    }
+        prop_assert_eq!(grad.len(), 3);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn gaussian_nll_decreases_toward_truth(y in -5.0f64..5.0, off in 0.5f64..3.0) {
+#[test]
+fn gaussian_nll_decreases_toward_truth() {
+    forall("gaussian_nll_decreases_toward_truth", 48, |g| {
         // Moving mu toward y cannot increase the NLL (fixed sigma).
+        let y = g.f64_in(-5.0, 5.0);
+        let off = g.f64_in(0.5, 3.0);
         let (far, _, _) = loss::gaussian_nll(y + off, 0.0, y);
         let (near, _, _) = loss::gaussian_nll(y + off / 2.0, 0.0, y);
         let (at, _, _) = loss::gaussian_nll(y, 0.0, y);
         prop_assert!(at <= near + 1e-12);
         prop_assert!(near <= far + 1e-12);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn student_t_nll_finite_everywhere(mu in -10.0f64..10.0, sraw in -5.0f64..5.0,
-                                       nraw in -5.0f64..5.0, y in -10.0f64..10.0) {
+#[test]
+fn student_t_nll_finite_everywhere() {
+    forall("student_t_nll_finite_everywhere", 48, |g| {
+        let mu = g.f64_in(-10.0, 10.0);
+        let sraw = g.f64_in(-5.0, 5.0);
+        let nraw = g.f64_in(-5.0, 5.0);
+        let y = g.f64_in(-10.0, 10.0);
         let (l, dmu, dsr, dnr) = loss::student_t_nll(mu, sraw, nraw, y);
         prop_assert!(l.is_finite());
         prop_assert!(dmu.is_finite() && dsr.is_finite() && dnr.is_finite());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn adam_step_magnitude_bounded_by_lr(g in -1e3f64..1e3, lr in 1e-4f64..0.1) {
-        prop_assume!(g.abs() > 1e-6);
+#[test]
+fn adam_step_magnitude_bounded_by_lr() {
+    forall("adam_step_magnitude_bounded_by_lr", 48, |g| {
+        let grad = g.f64_in(-1e3, 1e3);
+        let lr = g.f64_in(1e-4, 0.1);
+        if grad.abs() <= 1e-6 {
+            return prop_discard();
+        }
         let mut p = Param::from_vec(vec![0.0]);
-        p.grad = vec![g];
+        p.grad = vec![grad];
         let mut opt = Adam::new(lr);
         opt.begin_step();
         opt.update(&mut p);
         // First-step Adam update is ~lr regardless of gradient scale.
-        prop_assert!(p.data[0].abs() <= lr * 1.01);
-    }
+        prop_assert!(p.data[0].abs() <= lr * 1.01, "step {} > lr {lr}", p.data[0]);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn clip_grad_norm_enforces_bound(seed in any::<u64>(), max_norm in 0.1f64..5.0) {
-        let mut r = seeded(seed);
+#[test]
+fn clip_grad_norm_enforces_bound() {
+    forall("clip_grad_norm_enforces_bound", 48, |g| {
+        let mut r = seeded(g.u64());
+        let max_norm = g.f64_in(0.1, 5.0);
         let mut m = Mlp::new(&[2, 4, 1], Activation::Tanh, &mut r);
         // Accumulate a big gradient.
         let y = m.forward(&[1.0, -1.0]);
@@ -114,20 +148,20 @@ proptest! {
         let _ = m.backward(&dy);
         m.clip_grad_norm(max_norm);
         let mut sq = 0.0;
-        m.visit_params(&mut |p| sq += p.grad.iter().map(|g| g * g).sum::<f64>());
-        prop_assert!(sq.sqrt() <= max_norm * (1.0 + 1e-9));
-    }
+        m.visit_params(&mut |p| sq += p.grad.iter().map(|gr| gr * gr).sum::<f64>());
+        prop_assert!(sq.sqrt() <= max_norm * (1.0 + 1e-9), "norm {} > {max_norm}", sq.sqrt());
+        Ok(())
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn weight_snapshot_roundtrips_any_mlp_shape(seed in any::<u64>(),
-                                                inp in 1usize..6,
-                                                hid in 1usize..8,
-                                                out in 1usize..5) {
+#[test]
+fn weight_snapshot_roundtrips_any_mlp_shape() {
+    forall("weight_snapshot_roundtrips_any_mlp_shape", 32, |g| {
         use rpas_nn::{load_weights, save_weights};
+        let seed = g.u64();
+        let inp = g.usize_in(1, 6);
+        let hid = g.usize_in(1, 8);
+        let out = g.usize_in(1, 5);
         let mut r1 = seeded(seed);
         let mut r2 = seeded(seed ^ 0xdead_beef);
         let mut a = Mlp::new(&[inp, hid, out], Activation::Tanh, &mut r1);
@@ -137,14 +171,19 @@ proptest! {
         prop_assert_eq!(extras, vec![42.0]);
         let x: Vec<f64> = (0..inp).map(|i| i as f64 * 0.3 - 0.5).collect();
         prop_assert_eq!(a.apply(&x), b.apply(&x));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn snapshot_never_panics_on_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn snapshot_never_panics_on_arbitrary_bytes() {
+    forall("snapshot_never_panics_on_arbitrary_bytes", 32, |g| {
         use rpas_nn::load_weights;
+        let data = g.vec_u8(0, 256);
         let mut r = seeded(1);
         let mut m = Mlp::new(&[2, 3, 1], Activation::Relu, &mut r);
         // Must return an error (or in freak cases succeed), never panic.
         let _ = load_weights(&mut [&mut m], &data);
-    }
+        Ok(())
+    });
 }

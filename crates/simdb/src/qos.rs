@@ -10,7 +10,6 @@
 //! manager.
 
 use crate::report::SimulationReport;
-use serde::{Deserialize, Serialize};
 
 /// M/M/1-flavoured latency model: with per-node service time `s` (the
 /// latency of a query on an idle node) and utilization `ρ ∈ [0, 1)`,
@@ -24,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// let theta = m.max_utilization_for(120.0, 0.99); // SLO → scaling threshold
 /// assert!(theta > 0.0 && theta < 100.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyModel {
     /// Base (idle) query latency in milliseconds.
     pub base_latency_ms: f64,

@@ -3,14 +3,13 @@
 //! In the disaggregated architecture (Fig. 4 of the paper) all compute
 //! nodes attach to one storage pool; scaling out never migrates data, it
 //! only reads a checkpoint. The storage type is internally synchronised
-//! (`parking_lot::Mutex`) so a cluster handle can be shared across threads
+//! (`std::sync::Mutex`) so a cluster handle can be shared across threads
 //! in embedding applications and the bench harness.
 
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 /// Counters describing checkpoint activity on the shared storage.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StorageStats {
     /// Number of checkpoint reads (one per node warm-up).
     pub checkpoint_reads: u64,
@@ -42,7 +41,7 @@ impl SharedStorage {
 
     /// Record a checkpoint read for a node warm-up and return its size.
     pub fn load_checkpoint(&self) -> f64 {
-        let mut s = self.stats.lock();
+        let mut s = self.stats.lock().expect("storage stats mutex poisoned");
         s.checkpoint_reads += 1;
         s.gb_read += self.checkpoint_gb;
         self.checkpoint_gb
@@ -50,7 +49,7 @@ impl SharedStorage {
 
     /// Snapshot the counters.
     pub fn stats(&self) -> StorageStats {
-        *self.stats.lock()
+        *self.stats.lock().expect("storage stats mutex poisoned")
     }
 }
 

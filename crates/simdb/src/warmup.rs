@@ -10,10 +10,9 @@
 //! warmup = attach_latency + checkpoint_size / rebuild_bandwidth
 //! ```
 
-use serde::{Deserialize, Serialize};
 
 /// Linear checkpoint-loading warm-up model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WarmupModel {
     /// Fixed cost of attaching to shared storage and joining the cluster
     /// (seconds).

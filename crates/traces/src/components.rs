@@ -1,7 +1,7 @@
 //! Signal components composed by the trace generator: seasonality, trend,
 //! autocorrelated noise, heavy-tailed spikes, and level shifts.
 
-use rand::RngCore;
+use rpas_tsmath::rng::RngCore;
 use rpas_tsmath::rng;
 
 /// Daily seasonal component: a fundamental sinusoid plus a second harmonic,

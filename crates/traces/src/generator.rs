@@ -4,11 +4,10 @@ use crate::components::{diurnal, trend, weekly, Ar1Noise, LevelShift, SpikeProce
 use crate::trace::Trace;
 use crate::{INTERVAL_SECS, STEPS_PER_DAY};
 use rpas_tsmath::rng;
-use serde::{Deserialize, Serialize};
 
 /// Everything that shapes a synthetic trace. All stochastic components are
 /// driven by `seed`, so equal configs produce identical traces.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceGeneratorConfig {
     /// Trace name.
     pub name: String,

@@ -1,10 +1,9 @@
 //! The core `Trace` type: a named, regularly-sampled workload series.
 
-use serde::{Deserialize, Serialize};
 
 /// Which resource a trace measures. The paper's traces carry CPU, memory,
 /// and (for Alibaba) disk usage; CPU is the scaling metric in §IV-C.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ResourceKind {
     /// CPU usage (aggregated across the sampled machines/tasks).
     Cpu,
@@ -25,7 +24,7 @@ impl std::fmt::Display for ResourceKind {
 }
 
 /// A regularly-sampled, non-negative workload time series.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     /// Human-readable name (e.g. `"alibaba-cpu"`).
     pub name: String,

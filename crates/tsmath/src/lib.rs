@@ -15,6 +15,7 @@
 
 pub mod matrix;
 pub mod normal;
+pub mod propcheck;
 pub mod rng;
 pub mod special;
 pub mod stats;
@@ -44,7 +45,7 @@ pub trait Distribution {
     /// Quantile function (inverse cdf) at probability `p ∈ (0, 1)`.
     fn quantile(&self, p: f64) -> f64;
     /// Draw one sample using the supplied RNG.
-    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64;
+    fn sample(&self, rng: &mut dyn crate::rng::RngCore) -> f64;
     /// Distribution mean.
     fn mean(&self) -> f64;
     /// Distribution variance (may be infinite, e.g. Student-t with ν ≤ 2).

@@ -45,7 +45,7 @@ impl Distribution for Normal {
         self.mu + self.sigma * norm_quantile(p)
     }
 
-    fn sample(&self, r: &mut dyn rand::RngCore) -> f64 {
+    fn sample(&self, r: &mut dyn crate::rng::RngCore) -> f64 {
         self.mu + self.sigma * rng::standard_normal(r)
     }
 

@@ -1,17 +1,76 @@
-//! Seeded randomness helpers shared by the whole workspace.
+//! Seeded randomness for the whole workspace — implemented from scratch so
+//! the build needs no external crates and every bit of randomness is
+//! reproducible from a `u64` seed.
 //!
 //! All stochastic components of the reproduction (trace generation, weight
 //! init, Monte-Carlo forecast sampling) route through explicit `u64` seeds so
-//! every experiment is deterministic. The samplers here are implemented from
-//! first principles (Box–Muller, Marsaglia–Tsang) because we only depend on
-//! `rand` for the raw bit stream.
+//! every experiment is deterministic. The raw bit stream is xoshiro256++
+//! (Blackman–Vigna) seeded through SplitMix64; the samplers on top are
+//! implemented from first principles (Box–Muller, Marsaglia–Tsang,
+//! inversion).
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+/// Source of uniform random 64-bit words. This is the workspace's only RNG
+/// abstraction: samplers and layer initialisers take `&mut dyn RngCore` so
+/// tests can substitute counting or constant streams.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (upper half of [`Self::next_u64`],
+    /// which carries the best-mixed bits of xoshiro-family generators).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53-bit resolution.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// The workspace-standard generator: **xoshiro256++**. Fast, 256-bit state,
+/// passes BigCrush; more than adequate for Monte-Carlo sampling and
+/// weight init. Not cryptographic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+impl Rng64 {
+    /// Construct from a `u64` seed. The 256-bit state is expanded with
+    /// SplitMix64 (the seeding procedure recommended by the xoshiro
+    /// authors), so nearby seeds still yield uncorrelated streams.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        // SplitMix64 never returns four zeros, so the xoshiro state is valid.
+        Self { s: [next(), next(), next(), next()] }
+    }
+}
+
+impl RngCore for Rng64 {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
 
 /// Construct the workspace-standard RNG from a `u64` seed.
-pub fn seeded(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn seeded(seed: u64) -> Rng64 {
+    Rng64::new(seed)
 }
 
 /// Derive a child seed from a parent seed and a stream index using
@@ -25,13 +84,39 @@ pub fn child_seed(seed: u64, stream: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Uniform sample in `[0, 1)`.
+pub fn uniform(rng: &mut dyn RngCore) -> f64 {
+    rng.next_f64()
+}
+
 /// Uniform sample in `(0, 1)` — open on both ends so it is safe to feed into
 /// quantile functions and logs.
 pub fn uniform_open(rng: &mut dyn RngCore) -> f64 {
     loop {
-        let u: f64 = rng.random();
+        let u = rng.next_f64();
         if u > 0.0 && u < 1.0 {
             return u;
+        }
+    }
+}
+
+/// Uniform sample in `[0, n)` without modulo bias (Lemire rejection on the
+/// widening multiply) — index selection for mini-batch window sampling.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn uniform_index(rng: &mut dyn RngCore, n: usize) -> usize {
+    assert!(n > 0, "uniform_index requires n > 0");
+    let n = n as u64;
+    loop {
+        let x = rng.next_u64();
+        let (hi, lo) = {
+            let wide = (x as u128) * (n as u128);
+            ((wide >> 64) as u64, wide as u64)
+        };
+        // Reject the partial final stripe to keep every index equally likely.
+        if lo >= n.wrapping_neg() % n {
+            return hi as usize;
         }
     }
 }
@@ -39,7 +124,7 @@ pub fn uniform_open(rng: &mut dyn RngCore) -> f64 {
 /// Standard-normal sample via the Box–Muller transform.
 pub fn standard_normal(rng: &mut dyn RngCore) -> f64 {
     let u1 = uniform_open(rng);
-    let u2: f64 = rng.random();
+    let u2 = rng.next_f64();
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
@@ -131,6 +216,46 @@ mod tests {
         let mut b = seeded(42);
         for _ in 0..10 {
             assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = seeded(1);
+        let mut b = seeded(2);
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = seeded(13);
+        for _ in 0..10_000 {
+            let u = rng.next_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn next_u32_uses_upper_bits() {
+        let mut a = seeded(99);
+        let mut b = seeded(99);
+        assert_eq!(a.next_u32(), (b.next_u64() >> 32) as u32);
+    }
+
+    #[test]
+    fn uniform_index_is_unbiased_and_in_range() {
+        let mut rng = seeded(17);
+        let mut counts = [0usize; 5];
+        for _ in 0..50_000 {
+            let i = uniform_index(&mut rng, 5);
+            counts[i] += 1;
+        }
+        for &c in &counts {
+            // Expect 10_000 per bucket; 4 sigma ≈ 360.
+            assert!((c as i64 - 10_000).abs() < 500, "counts {counts:?}");
         }
     }
 

@@ -107,7 +107,7 @@ impl Distribution for StudentT {
         self.mu + self.sigma * Self::std_quantile(self.nu, p)
     }
 
-    fn sample(&self, r: &mut dyn rand::RngCore) -> f64 {
+    fn sample(&self, r: &mut dyn crate::rng::RngCore) -> f64 {
         // t = Z / sqrt(V/ν) with Z ~ N(0,1), V ~ χ²(ν).
         let z = rng::standard_normal(r);
         let v = rng::chi_squared(r, self.nu);

@@ -2,131 +2,161 @@
 //! matrix-algebra laws, and statistics invariants that must hold for *any*
 //! input, not just hand-picked examples.
 
-use proptest::prelude::*;
+use rpas_tsmath::propcheck::forall;
 use rpas_tsmath::special;
 use rpas_tsmath::stats;
-use rpas_tsmath::{Distribution, Matrix, Normal, StudentT};
+use rpas_tsmath::{prop_assert, prop_assert_eq, Distribution, Matrix, Normal, StudentT};
 
-fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-1e6f64..1e6, len)
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn normal_cdf_is_monotone(mu in -100.0f64..100.0, sigma in 0.1f64..50.0,
-                              a in -500.0f64..500.0, b in -500.0f64..500.0) {
+#[test]
+fn normal_cdf_is_monotone() {
+    forall("normal_cdf_is_monotone", 64, |g| {
+        let mu = g.f64_in(-100.0, 100.0);
+        let sigma = g.f64_in(0.1, 50.0);
+        let a = g.f64_in(-500.0, 500.0);
+        let b = g.f64_in(-500.0, 500.0);
         let n = Normal::new(mu, sigma);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         prop_assert!(n.cdf(lo) <= n.cdf(hi) + 1e-12);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn normal_quantile_inverts_cdf(mu in -100.0f64..100.0, sigma in 0.1f64..50.0,
-                                   p in 0.001f64..0.999) {
+#[test]
+fn normal_quantile_inverts_cdf() {
+    forall("normal_quantile_inverts_cdf", 64, |g| {
+        let mu = g.f64_in(-100.0, 100.0);
+        let sigma = g.f64_in(0.1, 50.0);
+        let p = g.f64_in(0.001, 0.999);
         let n = Normal::new(mu, sigma);
         let x = n.quantile(p);
-        prop_assert!((n.cdf(x) - p).abs() < 1e-7);
-    }
+        prop_assert!((n.cdf(x) - p).abs() < 1e-7, "cdf(quantile({p})) = {}", n.cdf(x));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn studentt_quantile_inverts_cdf(mu in -50.0f64..50.0, sigma in 0.1f64..20.0,
-                                     nu in 1.0f64..60.0, p in 0.01f64..0.99) {
+#[test]
+fn studentt_quantile_inverts_cdf() {
+    forall("studentt_quantile_inverts_cdf", 64, |g| {
+        let mu = g.f64_in(-50.0, 50.0);
+        let sigma = g.f64_in(0.1, 20.0);
+        let nu = g.f64_in(1.0, 60.0);
+        let p = g.f64_in(0.01, 0.99);
         let t = StudentT::new(mu, sigma, nu);
         let x = t.quantile(p);
-        prop_assert!((t.cdf(x) - p).abs() < 1e-6);
-    }
+        prop_assert!((t.cdf(x) - p).abs() < 1e-6, "cdf(quantile({p})) = {}", t.cdf(x));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn studentt_quantiles_monotone_in_level(nu in 1.0f64..40.0,
-                                            p1 in 0.02f64..0.5, p2 in 0.5f64..0.98) {
+#[test]
+fn studentt_quantiles_monotone_in_level() {
+    forall("studentt_quantiles_monotone_in_level", 64, |g| {
+        let nu = g.f64_in(1.0, 40.0);
+        let p1 = g.f64_in(0.02, 0.5);
+        let p2 = g.f64_in(0.5, 0.98);
         let t = StudentT::new(0.0, 1.0, nu);
         prop_assert!(t.quantile(p1) <= t.quantile(p2) + 1e-9);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn beta_inc_is_monotone_in_x(a in 0.2f64..20.0, b in 0.2f64..20.0,
-                                 x1 in 0.0f64..1.0, x2 in 0.0f64..1.0) {
+#[test]
+fn beta_inc_is_monotone_in_x() {
+    forall("beta_inc_is_monotone_in_x", 64, |g| {
+        let a = g.f64_in(0.2, 20.0);
+        let b = g.f64_in(0.2, 20.0);
+        let x1 = g.f64_in(0.0, 1.0);
+        let x2 = g.f64_in(0.0, 1.0);
         let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
         prop_assert!(special::beta_inc(a, b, lo) <= special::beta_inc(a, b, hi) + 1e-9);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn matrix_transpose_involution(rows in 1usize..6, cols in 1usize..6,
-                                   seed in any::<u64>()) {
-        let mut s = seed;
-        let mut next = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
-        };
-        let data: Vec<f64> = (0..rows * cols).map(|_| next() * 10.0).collect();
+#[test]
+fn matrix_transpose_involution() {
+    forall("matrix_transpose_involution", 64, |g| {
+        let rows = g.usize_in(1, 6);
+        let cols = g.usize_in(1, 6);
+        let data: Vec<f64> = (0..rows * cols).map(|_| g.f64_in(-5.0, 5.0)).collect();
         let m = Matrix::from_vec(rows, cols, data);
         prop_assert_eq!(m.transpose().transpose(), m);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn matmul_associates_with_vectors(n in 1usize..5, seed in any::<u64>()) {
+#[test]
+fn matmul_associates_with_vectors() {
+    forall("matmul_associates_with_vectors", 64, |g| {
         // (A B) x == A (B x)
-        let mut s = seed | 1;
-        let mut next = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
-        };
-        let a = Matrix::from_vec(n, n, (0..n * n).map(|_| next()).collect());
-        let b = Matrix::from_vec(n, n, (0..n * n).map(|_| next()).collect());
-        let x: Vec<f64> = (0..n).map(|_| next()).collect();
+        let n = g.usize_in(1, 5);
+        let a = Matrix::from_vec(n, n, (0..n * n).map(|_| g.f64_in(-0.5, 0.5)).collect());
+        let b = Matrix::from_vec(n, n, (0..n * n).map(|_| g.f64_in(-0.5, 0.5)).collect());
+        let x: Vec<f64> = (0..n).map(|_| g.f64_in(-0.5, 0.5)).collect();
         let lhs = a.matmul(&b).matvec(&x);
         let rhs = a.matvec(&b.matvec(&x));
         for (l, r) in lhs.iter().zip(&rhs) {
-            prop_assert!((l - r).abs() < 1e-9);
+            prop_assert!((l - r).abs() < 1e-9, "{l} vs {r}");
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn solve_produces_residual_zero(n in 1usize..6, seed in any::<u64>()) {
-        let mut s = seed | 1;
-        let mut next = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
-        };
+#[test]
+fn solve_produces_residual_zero() {
+    forall("solve_produces_residual_zero", 64, |g| {
         // Diagonally dominant => nonsingular.
+        let n = g.usize_in(1, 6);
         let mut a = Matrix::zeros(n, n);
         for i in 0..n {
             for j in 0..n {
-                a[(i, j)] = next();
+                a[(i, j)] = g.f64_in(-0.5, 0.5);
             }
             a[(i, i)] += n as f64 + 1.0;
         }
-        let b: Vec<f64> = (0..n).map(|_| next() * 5.0).collect();
+        let b: Vec<f64> = (0..n).map(|_| g.f64_in(-2.5, 2.5)).collect();
         let x = a.solve(&b).expect("diag-dominant must solve");
         let r = a.matvec(&x);
         for (ri, bi) in r.iter().zip(&b) {
-            prop_assert!((ri - bi).abs() < 1e-8);
+            prop_assert!((ri - bi).abs() < 1e-8, "residual {}", ri - bi);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn quantile_bounded_by_min_max(xs in finite_vec(1..64), p in 0.0f64..1.0) {
+#[test]
+fn quantile_bounded_by_min_max() {
+    forall("quantile_bounded_by_min_max", 64, |g| {
+        let xs = g.vec_f64(-1e6, 1e6, 1, 64);
+        let p = g.f64_in(0.0, 1.0);
         let q = stats::quantile(&xs, p);
         let lo = stats::min(&xs).unwrap();
         let hi = stats::max(&xs).unwrap();
-        prop_assert!(q >= lo - 1e-9 && q <= hi + 1e-9);
-    }
+        prop_assert!(q >= lo - 1e-9 && q <= hi + 1e-9, "quantile {q} outside [{lo}, {hi}]");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn standardizer_roundtrips(xs in finite_vec(2..64)) {
+#[test]
+fn standardizer_roundtrips() {
+    forall("standardizer_roundtrips", 64, |g| {
+        let xs = g.vec_f64(-1e6, 1e6, 2, 64);
         let st = stats::Standardizer::fit(&xs);
         for &x in &xs {
             let back = st.inverse(st.transform(x));
-            prop_assert!((back - x).abs() < 1e-6 * (1.0 + x.abs()));
+            prop_assert!((back - x).abs() < 1e-6 * (1.0 + x.abs()), "{back} vs {x}");
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn difference_shrinks_length(xs in finite_vec(3..32), d in 1usize..3) {
-        prop_assume!(xs.len() > d);
+#[test]
+fn difference_shrinks_length() {
+    forall("difference_shrinks_length", 64, |g| {
+        let d = g.usize_in(1, 3);
+        let xs = g.vec_f64(-1e6, 1e6, d + 1, 32);
         let v = stats::difference(&xs, d);
         prop_assert_eq!(v.len(), xs.len() - d);
-    }
+        Ok(())
+    });
 }

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Hermetic-build verification for the rpas workspace.
+#
+# Asserts the two invariants this repo promises:
+#   1. The whole workspace builds and tests OFFLINE — no registry access,
+#      path dependencies only.
+#   2. None of the removed external crates creep back in, either as a
+#      `Cargo.toml` dependency or as a stray `use` in source.
+#
+# Optional: RPAS_VERIFY_PARALLEL=1 additionally checks that the table1
+# experiment produces byte-identical CSV output single-threaded vs
+# parallel (slow — trains real models, even under RPAS_PROFILE=quick).
+#
+# Usage: scripts/verify.sh   (from anywhere; cd's to the repo root)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== offline release build =="
+cargo build --release --offline
+
+echo "== offline tests =="
+cargo test -q --offline
+
+echo "== banned-dependency grep guard =="
+# Source-level guard: none of the replaced crates may be referenced again.
+if grep -rn "rand::\|crossbeam\|proptest\|criterion" crates/ src/ tests/; then
+    echo "ERROR: banned external-crate reference found (see matches above)" >&2
+    exit 1
+fi
+# Manifest-level guard: every dependency must be an in-workspace path dep.
+if grep -rn "rand\|crossbeam\|proptest\|criterion\|bytes\|parking_lot\|serde" \
+    --include=Cargo.toml Cargo.toml crates/; then
+    echo "ERROR: banned crate listed in a Cargo.toml (see matches above)" >&2
+    exit 1
+fi
+echo "ok: no banned references"
+
+if [[ "${RPAS_VERIFY_PARALLEL:-0}" == "1" ]]; then
+    echo "== table1 thread-count invariance =="
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' EXIT
+    RPAS_PROFILE=quick RPAS_THREADS=1 RPAS_RESULTS_DIR="$tmp/seq" \
+        cargo run -q --release --offline -p rpas-bench --bin table1
+    RPAS_PROFILE=quick RPAS_RESULTS_DIR="$tmp/par" \
+        cargo run -q --release --offline -p rpas-bench --bin table1
+    diff -r "$tmp/seq" "$tmp/par"
+    echo "ok: table1 output independent of thread count"
+fi
+
+echo "verify: all checks passed"

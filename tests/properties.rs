@@ -1,71 +1,80 @@
 //! Cross-crate property tests: invariants of the forecast→plan pipeline
 //! that must hold for arbitrary forecasts, thresholds, and strategies.
 
-use proptest::prelude::*;
 use rpas::core::{
     plan_adaptive, plan_robust, plan_robust_lp, smooth_plan, uncertainty_at, AdaptiveConfig,
     ThrashConfig,
 };
 use rpas::forecast::QuantileForecast;
 use rpas::tsmath::Matrix;
+use rpas_tsmath::propcheck::{forall, Gen};
+use rpas_tsmath::{prop_assert, prop_assert_eq};
 
-/// Strategy: random monotone quantile forecasts on a fixed 5-level grid.
-fn forecast_strategy() -> impl Strategy<Value = QuantileForecast> {
-    (1usize..12, any::<u64>()).prop_map(|(horizon, seed)| {
-        let levels = vec![0.5, 0.7, 0.8, 0.9, 0.95];
-        let mut s = seed | 1;
-        let mut next = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (s >> 11) as f64 / (1u64 << 53) as f64
-        };
-        let mut values = Matrix::zeros(horizon, levels.len());
-        for h in 0..horizon {
-            let base = 20.0 + 300.0 * next();
-            let mut v = base;
-            for (i, _) in levels.iter().enumerate() {
-                values[(h, i)] = v;
-                v += 40.0 * next();
-            }
+/// Generate a random monotone quantile forecast on a fixed 5-level grid.
+fn random_forecast(g: &mut Gen) -> QuantileForecast {
+    let horizon = g.usize_in(1, 12);
+    let levels = vec![0.5, 0.7, 0.8, 0.9, 0.95];
+    let mut values = Matrix::zeros(horizon, levels.len());
+    for h in 0..horizon {
+        let mut v = g.f64_in(20.0, 320.0);
+        for (i, _) in levels.iter().enumerate() {
+            values[(h, i)] = v;
+            v += g.f64_in(0.0, 40.0);
         }
-        QuantileForecast::new(levels, values)
-    })
+    }
+    QuantileForecast::new(levels, values)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn robust_plan_feasible_at_its_quantile(qf in forecast_strategy(),
-                                            tau_i in 0usize..5,
-                                            theta in 10.0f64..200.0) {
+#[test]
+fn robust_plan_feasible_at_its_quantile() {
+    forall("robust_plan_feasible_at_its_quantile", 48, |g| {
+        let qf = random_forecast(g);
         let levels = [0.5, 0.7, 0.8, 0.9, 0.95];
-        let tau = levels[tau_i];
+        let tau = levels[g.usize_in(0, 5)];
+        let theta = g.f64_in(10.0, 200.0);
         let plan = plan_robust(&qf, tau, theta, 1);
         for t in 0..qf.horizon() {
             let w = qf.at(t, tau).max(0.0);
-            prop_assert!(plan.at(t) as f64 * theta >= w - 1e-6,
-                "infeasible at step {t}: {} nodes for workload {w}", plan.at(t));
+            prop_assert!(
+                plan.at(t) as f64 * theta >= w - 1e-6,
+                "infeasible at step {t}: {} nodes for workload {w}",
+                plan.at(t)
+            );
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn robust_plan_monotone_in_tau(qf in forecast_strategy(), theta in 10.0f64..200.0) {
+#[test]
+fn robust_plan_monotone_in_tau() {
+    forall("robust_plan_monotone_in_tau", 48, |g| {
+        let qf = random_forecast(g);
+        let theta = g.f64_in(10.0, 200.0);
         let lo = plan_robust(&qf, 0.7, theta, 1);
         let hi = plan_robust(&qf, 0.9, theta, 1);
         for t in 0..qf.horizon() {
             prop_assert!(hi.at(t) >= lo.at(t));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn lp_equals_closed_form(qf in forecast_strategy(), theta in 10.0f64..200.0) {
+#[test]
+fn lp_equals_closed_form() {
+    forall("lp_equals_closed_form", 48, |g| {
+        let qf = random_forecast(g);
+        let theta = g.f64_in(10.0, 200.0);
         prop_assert_eq!(plan_robust(&qf, 0.9, theta, 1), plan_robust_lp(&qf, 0.9, theta, 1));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn adaptive_plan_bounded_by_fixed_plans(qf in forecast_strategy(),
-                                            rho in 0.0f64..100.0,
-                                            theta in 10.0f64..200.0) {
+#[test]
+fn adaptive_plan_bounded_by_fixed_plans() {
+    forall("adaptive_plan_bounded_by_fixed_plans", 48, |g| {
+        let qf = random_forecast(g);
+        let rho = g.f64_in(0.0, 100.0);
+        let theta = g.f64_in(10.0, 200.0);
         let cfg = AdaptiveConfig::new(0.7, 0.95, rho);
         let adaptive = plan_adaptive(&qf, cfg, theta, 1);
         let lo = plan_robust(&qf, 0.7, theta, 1);
@@ -74,19 +83,27 @@ proptest! {
             prop_assert!(adaptive.at(t) >= lo.at(t));
             prop_assert!(adaptive.at(t) <= hi.at(t));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn uncertainty_nonnegative(qf in forecast_strategy()) {
+#[test]
+fn uncertainty_nonnegative() {
+    forall("uncertainty_nonnegative", 48, |g| {
+        let qf = random_forecast(g);
         for t in 0..qf.horizon() {
             prop_assert!(uncertainty_at(&qf, t) >= -1e-12);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn smoothing_respects_delta_limit(qf in forecast_strategy(),
-                                      max_delta in 1u32..4,
-                                      initial in 1u32..10) {
+#[test]
+fn smoothing_respects_delta_limit() {
+    forall("smoothing_respects_delta_limit", 48, |g| {
+        let qf = random_forecast(g);
+        let max_delta = g.u32_in(1, 4);
+        let initial = g.u32_in(1, 10);
         let plan = plan_robust(&qf, 0.9, 60.0, 1);
         let cfg = ThrashConfig { max_step_delta: max_delta, direction_cooldown: 0 };
         let smoothed = smooth_plan(&plan, initial, cfg, false);
@@ -96,13 +113,17 @@ proptest! {
             prop_assert!(d <= max_delta, "delta {d} at step {t}");
             prev = smoothed.at(t);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn smoothing_with_burst_up_never_below_plain_smoothing(qf in forecast_strategy(),
-                                                           initial in 1u32..10) {
+#[test]
+fn smoothing_with_burst_up_never_below_plain_smoothing() {
+    forall("smoothing_with_burst_up_never_below_plain_smoothing", 48, |g| {
         // Burst-up smoothing is at least as protective as symmetric
         // smoothing (it can only allocate more).
+        let qf = random_forecast(g);
+        let initial = g.u32_in(1, 10);
         let plan = plan_robust(&qf, 0.9, 60.0, 1);
         let cfg = ThrashConfig { max_step_delta: 1, direction_cooldown: 0 };
         let a = smooth_plan(&plan, initial, cfg, true);
@@ -110,5 +131,6 @@ proptest! {
         for t in 0..plan.len() {
             prop_assert!(a.at(t) >= b.at(t));
         }
-    }
+        Ok(())
+    });
 }

@@ -56,4 +56,34 @@ fn main() {
     });
 
     group.finish();
+
+    // Observability overhead guard: the same planning call dark (no obs),
+    // with the no-op handle (instrumentation compiled in, nothing
+    // listening), and with a live in-memory sink. Dark and no-op must be
+    // indistinguishable — the closure-based emit API never builds events
+    // when no sink listens.
+    let qf = deepar.forecast_quantiles(&ctx, p.horizon, &SCALING_LEVELS).expect("forecast");
+    let adaptive = ScalingStrategy::Adaptive(rpas_core::AdaptiveConfig::new(0.8, 0.95, 5.0));
+    let dark = RobustAutoScalingManager::new(60.0, 1, adaptive.clone());
+    let noop = RobustAutoScalingManager::new(60.0, 1, adaptive.clone())
+        .with_obs(rpas_obs::Obs::noop());
+    // Counting sink: pays full event-building and dispatch cost without
+    // accumulating millions of events across calibrated batches.
+    struct CountSink(std::sync::atomic::AtomicU64);
+    impl rpas_obs::Sink for CountSink {
+        fn max_level(&self) -> rpas_obs::Level {
+            rpas_obs::Level::Debug
+        }
+        fn emit(&self, _: &rpas_obs::Event) {
+            self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+    let live = RobustAutoScalingManager::new(60.0, 1, adaptive)
+        .with_obs(rpas_obs::Obs::with_sink(Box::new(CountSink(0.into()))));
+
+    let mut group = BenchGroup::new("obs_overhead_plan");
+    group.bench("dark", || black_box(dark.plan(&qf)));
+    group.bench("noop_obs", || black_box(noop.plan(&qf)));
+    group.bench("counting_sink", || black_box(live.plan(&qf)));
+    group.finish();
 }

@@ -87,16 +87,21 @@ pub fn measure<T>(mut f: impl FnMut() -> T) -> Stats {
 }
 
 /// A named group of benchmarks printed as one table, mirroring the shape
-/// of the Criterion groups it replaced.
+/// of the Criterion groups it replaced. Each measurement also lands on
+/// the [`crate::bench_obs`] handle as a `bench/measurement` debug event
+/// (timing fields in `*_us` slots), and the whole group is bracketed by a
+/// `bench` phase timer, so `RPAS_TRACE_OUT` captures a machine-readable
+/// copy of every figure the table prints.
 pub struct BenchGroup {
     name: String,
     rows: Vec<(String, Stats)>,
+    started: Instant,
 }
 
 impl BenchGroup {
     /// New empty group.
     pub fn new(name: &str) -> Self {
-        Self { name: name.to_string(), rows: Vec::new() }
+        Self { name: name.to_string(), rows: Vec::new(), started: Instant::now() }
     }
 
     /// Run and record one benchmark.
@@ -109,11 +114,23 @@ impl BenchGroup {
             fmt_time(stats.min),
             stats.iters_per_sample
         );
+        crate::bench_obs().debug("bench", "measurement", |e| {
+            e.field("group", self.name.as_str())
+                .field("name", label)
+                .field("iters", stats.iters_per_sample)
+                .field("median_us", stats.median * 1e6)
+                .field("min_us", stats.min * 1e6)
+                .field("mean_us", stats.mean * 1e6);
+        });
         self.rows.push((label.to_string(), stats));
     }
 
     /// Print the summary table and return the rows for further use.
     pub fn finish(self) -> Vec<(String, Stats)> {
+        crate::bench_obs().info("bench", "span_close", |e| {
+            e.field("phase", self.name.as_str()).field("benchmarks", self.rows.len());
+            e.wall_us = Some(self.started.elapsed().as_micros() as u64);
+        });
         let width = self.rows.iter().map(|(l, _)| l.len()).max().unwrap_or(4).max(4);
         println!("\n== {} ==", self.name);
         println!("{:width$}  {:>12}  {:>12}  {:>12}", "name", "median", "min", "mean");

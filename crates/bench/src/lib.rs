@@ -25,6 +25,15 @@ pub use profile::{ExperimentProfile, Profile};
 
 use rpas_traces::{alibaba_like, google_like, Trace};
 
+/// Process-wide observability handle for the experiment binaries and the
+/// micro-benchmark harness, built once from the environment (`RPAS_LOG`
+/// stderr verbosity, `RPAS_TRACE_OUT` JSONL trace). Result tables still go
+/// to stdout; diagnostics and phase timings flow through this handle.
+pub fn bench_obs() -> &'static rpas_obs::Obs {
+    static OBS: std::sync::OnceLock<rpas_obs::Obs> = std::sync::OnceLock::new();
+    OBS.get_or_init(rpas_obs::Obs::from_env)
+}
+
 /// One prepared dataset: name + train/test split of the CPU trace.
 #[derive(Debug, Clone)]
 pub struct Dataset {

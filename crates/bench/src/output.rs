@@ -95,8 +95,10 @@ pub fn results_path(name: &str) -> PathBuf {
 /// Write named columns as a CSV artifact under `results/`.
 pub fn write_csv(name: &str, columns: &[(&str, &[f64])]) {
     let path = results_path(name);
-    if let Err(e) = rpas_traces::csv::write_columns_to_path(&path, columns) {
-        eprintln!("warning: failed to write {}: {e}", path.display());
+    if let Err(err) = rpas_traces::csv::write_columns_to_path(&path, columns) {
+        crate::bench_obs().warn("bench", "write_failed", |e| {
+            e.field("path", path.display().to_string()).field("error", err.to_string());
+        });
     } else {
         println!("[wrote {}]", path.display());
     }

@@ -4,11 +4,13 @@
 //! when it is confident — plus the staircase multi-level extension the
 //! paper sketches ("a staircase-like range of options").
 
+use crate::manager::{RobustAutoScalingManager, ScalingStrategy};
 use crate::plan::CapacityPlan;
 use crate::robust::plan_robust;
 use crate::uncertainty::uncertainty_at;
 use rpas_forecast::QuantileForecast;
 use rpas_metrics::provisioning::required_nodes;
+use rpas_obs::Obs;
 
 /// Parameters of Algorithm 1 (two optional quantile levels).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,6 +56,28 @@ pub fn plan_adaptive(
     CapacityPlan::new(nodes)
 }
 
+/// Algorithm 1 with its decision audit routed to `obs`: per step, a
+/// `plan/decision` debug event recording the quantile level chosen, the
+/// uncertainty signal `U_i`, the threshold `ρ`, and the regime
+/// (conservative/aggressive); per plan, a `plan/summary` info event with
+/// the LP objective and regime-switch count. Delegates to
+/// [`RobustAutoScalingManager`], whose equivalence with [`plan_adaptive`]
+/// is pinned by the manager's tests.
+///
+/// # Panics
+/// As [`plan_adaptive`].
+pub fn plan_adaptive_obs(
+    forecast: &QuantileForecast,
+    cfg: AdaptiveConfig,
+    theta: f64,
+    min_nodes: u32,
+    obs: &Obs,
+) -> CapacityPlan {
+    RobustAutoScalingManager::new(theta, min_nodes, ScalingStrategy::Adaptive(cfg))
+        .with_obs(obs.clone())
+        .plan(forecast)
+}
+
 /// One rung of the staircase extension: forecasts whose uncertainty
 /// reaches `min_uncertainty` (and no higher rung) use quantile `tau`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,6 +86,24 @@ pub struct StaircaseLevel {
     pub min_uncertainty: f64,
     /// Quantile level applied on this rung.
     pub tau: f64,
+}
+
+/// [`plan_staircase`] with the decision audit routed to `obs` (same
+/// event shapes as [`plan_adaptive_obs`]; the regime is "conservative"
+/// on any rung above the bottom of the ladder).
+///
+/// # Panics
+/// As [`plan_staircase`].
+pub fn plan_staircase_obs(
+    forecast: &QuantileForecast,
+    levels: &[StaircaseLevel],
+    theta: f64,
+    min_nodes: u32,
+    obs: &Obs,
+) -> CapacityPlan {
+    RobustAutoScalingManager::new(theta, min_nodes, ScalingStrategy::Staircase(levels.to_vec()))
+        .with_obs(obs.clone())
+        .plan(forecast)
 }
 
 /// Staircase adaptive scaling: an arbitrary ladder of
@@ -217,5 +259,29 @@ mod tests {
     #[should_panic(expected = "need 0 < τ₁ ≤ τ₂ < 1")]
     fn adaptive_rejects_inverted_levels() {
         AdaptiveConfig::new(0.9, 0.5, 1.0);
+    }
+
+    #[test]
+    fn obs_variants_match_plain_functions() {
+        let f = forecast();
+        let cfg = AdaptiveConfig::new(0.5, 0.95, 5.0);
+        let ladder = [
+            StaircaseLevel { min_uncertainty: 0.0, tau: 0.5 },
+            StaircaseLevel { min_uncertainty: 2.0, tau: 0.9 },
+        ];
+        let mem = rpas_obs::MemorySink::new();
+        let obs = Obs::with_sink(Box::new(mem.clone()));
+        assert_eq!(
+            plan_adaptive_obs(&f, cfg, 60.0, 1, &obs),
+            plan_adaptive(&f, cfg, 60.0, 1)
+        );
+        assert_eq!(
+            plan_staircase_obs(&f, &ladder, 60.0, 1, &obs),
+            plan_staircase(&f, &ladder, 60.0, 1)
+        );
+        // Both plans audited: 2 steps each + 2 summaries.
+        let events = mem.events();
+        assert_eq!(events.iter().filter(|e| e.name == "decision").count(), 4);
+        assert_eq!(events.iter().filter(|e| e.name == "summary").count(), 2);
     }
 }

@@ -39,9 +39,12 @@ pub mod rolling;
 pub mod thrash;
 pub mod uncertainty;
 
-pub use adaptive::{plan_adaptive, plan_staircase, AdaptiveConfig, StaircaseLevel};
+pub use adaptive::{
+    plan_adaptive, plan_adaptive_obs, plan_staircase, plan_staircase_obs, AdaptiveConfig,
+    StaircaseLevel,
+};
 pub use autoscaler::{PointPredictivePolicy, QuantilePredictivePolicy, ReplanSchedule};
-pub use backtest::{backtest_quantile, BacktestReport, BacktestWindow};
+pub use backtest::{backtest_quantile, backtest_quantile_obs, BacktestReport, BacktestWindow};
 pub use eval::{
     evaluate_plans_point, evaluate_plans_precomputed, evaluate_plans_quantile, evaluate_reactive,
     forecast_windows,
@@ -50,7 +53,10 @@ pub use manager::{PlanningBackend, RobustAutoScalingManager, ScalingStrategy};
 pub use multi::{plan_multi_resource, MultiResourcePlan, ResourceDimension};
 pub use plan::{plan_point, plan_point_lp, CapacityPlan};
 pub use reactive::{ReactiveAvg, ReactiveMax};
-pub use robust::{plan_robust, plan_robust_lp};
-pub use rolling::{plan_windows, quantile_windows, PlannedWindow, RollingSpec};
+pub use robust::{plan_robust, plan_robust_lp, plan_robust_obs};
+pub use rolling::{
+    plan_windows, plan_windows_obs, quantile_windows, quantile_windows_obs, PlannedWindow,
+    RollingSpec,
+};
 pub use thrash::{smooth_plan, ThrashConfig, ThrashLimited};
 pub use uncertainty::{uncertainty_at, uncertainty_series};

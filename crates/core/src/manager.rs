@@ -1,10 +1,19 @@
 //! The Robust Auto-Scaling Manager: the façade that turns a quantile
 //! forecast into a capacity plan under a chosen strategy (Fig. 2, phase ②).
+//!
+//! With an [`Obs`] handle attached (see
+//! [`RobustAutoScalingManager::with_obs`]) the manager emits a full
+//! decision audit: one `plan/decision` debug event per horizon step
+//! (quantile level chosen, uncertainty signal, regime) plus one
+//! `plan/summary` info event per plan (LP objective, plan delta, regime
+//! switch count) — enough to replay Algorithm 1's conservative↔aggressive
+//! switching from the trace alone.
 
 use crate::adaptive::{AdaptiveConfig, StaircaseLevel};
 use crate::plan::{plan_point, plan_point_lp, CapacityPlan};
 use crate::uncertainty::uncertainty_at;
 use rpas_forecast::QuantileForecast;
+use rpas_obs::{Level, Obs};
 
 /// How conservative the manager is, per Definitions 4–5.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,6 +29,17 @@ pub enum ScalingStrategy {
     Staircase(Vec<StaircaseLevel>),
 }
 
+impl ScalingStrategy {
+    /// Short name used in decision-audit events.
+    fn audit_name(&self) -> &'static str {
+        match self {
+            ScalingStrategy::Fixed { .. } => "fixed",
+            ScalingStrategy::Adaptive(_) => "adaptive",
+            ScalingStrategy::Staircase(_) => "staircase",
+        }
+    }
+}
+
 /// Which solver realises the optimization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlanningBackend {
@@ -27,8 +47,20 @@ pub enum PlanningBackend {
     ClosedForm,
     /// The `rpas-lp` two-phase simplex — the paper's "standard linear
     /// programming solvers" path; same answers, measurably slower (see
-    /// the `planners` Criterion bench).
+    /// the `planners` bench).
     Simplex,
+}
+
+/// One audited per-step choice: which quantile level the strategy picked
+/// and why. `uncertainty` is `None` for the fixed strategy (it never
+/// consults the signal).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct StepChoice {
+    tau: f64,
+    uncertainty: Option<f64>,
+    /// Whether the conservative branch was taken (Algorithm 1's `τ₂`, or
+    /// any rung above the bottom of the staircase).
+    conservative: bool,
 }
 
 /// Robust Auto-Scaling Manager.
@@ -53,10 +85,12 @@ pub struct RobustAutoScalingManager {
     min_nodes: u32,
     strategy: ScalingStrategy,
     backend: PlanningBackend,
+    obs: Obs,
 }
 
 impl RobustAutoScalingManager {
-    /// New manager with the closed-form backend.
+    /// New manager with the closed-form backend and no observability
+    /// (attach with [`RobustAutoScalingManager::with_obs`]).
     ///
     /// # Panics
     /// Panics on non-positive `theta` or a malformed strategy.
@@ -65,12 +99,25 @@ impl RobustAutoScalingManager {
         if let ScalingStrategy::Fixed { tau } = &strategy {
             assert!(*tau > 0.0 && *tau < 1.0, "tau must be in (0,1)");
         }
-        Self { theta, min_nodes, strategy, backend: PlanningBackend::ClosedForm }
+        Self {
+            theta,
+            min_nodes,
+            strategy,
+            backend: PlanningBackend::ClosedForm,
+            obs: Obs::noop(),
+        }
     }
 
     /// Builder: switch the solving backend.
     pub fn with_backend(mut self, backend: PlanningBackend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Builder: attach an observability handle. Every subsequent
+    /// [`RobustAutoScalingManager::plan`] emits the decision audit.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -89,42 +136,105 @@ impl RobustAutoScalingManager {
         &self.strategy
     }
 
+    /// The attached observability handle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// The strategy's choice at one horizon step.
+    fn choose(&self, forecast: &QuantileForecast, i: usize) -> StepChoice {
+        match &self.strategy {
+            ScalingStrategy::Fixed { tau } => {
+                StepChoice { tau: *tau, uncertainty: None, conservative: false }
+            }
+            ScalingStrategy::Adaptive(cfg) => {
+                let u = uncertainty_at(forecast, i);
+                let conservative = u >= cfg.rho;
+                StepChoice {
+                    tau: if conservative { cfg.tau_high } else { cfg.tau_low },
+                    uncertainty: Some(u),
+                    conservative,
+                }
+            }
+            ScalingStrategy::Staircase(levels) => {
+                let u = uncertainty_at(forecast, i);
+                let bottom = levels.first().expect("non-empty ladder");
+                let rung =
+                    levels.iter().rev().find(|l| u >= l.min_uncertainty).unwrap_or(bottom);
+                StepChoice {
+                    tau: rung.tau,
+                    uncertainty: Some(u),
+                    conservative: rung.min_uncertainty > bottom.min_uncertainty,
+                }
+            }
+        }
+    }
+
     /// The per-step workload bound the strategy selects from the forecast
-    /// (the `ŵ_t^{τ_t}` series fed into the optimization).
+    /// (the `ŵ_t^{τ_t}` series fed into the optimization). Emits one
+    /// `plan/decision` debug event per step when observability is on.
     pub fn effective_workload(&self, forecast: &QuantileForecast) -> Vec<f64> {
         (0..forecast.horizon())
             .map(|i| {
-                let tau = match &self.strategy {
-                    ScalingStrategy::Fixed { tau } => *tau,
-                    ScalingStrategy::Adaptive(cfg) => {
-                        if uncertainty_at(forecast, i) >= cfg.rho {
-                            cfg.tau_high
-                        } else {
-                            cfg.tau_low
-                        }
+                let choice = self.choose(forecast, i);
+                let w = forecast.at(i, choice.tau).max(0.0);
+                self.obs.debug("plan", "decision", |e| {
+                    e.field("step", i)
+                        .field("strategy", self.strategy.audit_name())
+                        .field("tau", choice.tau)
+                        .field("workload", w);
+                    if let Some(u) = choice.uncertainty {
+                        e.field("uncertainty", u)
+                            .field("regime", if choice.conservative { "conservative" } else { "aggressive" });
                     }
-                    ScalingStrategy::Staircase(levels) => {
-                        let u = uncertainty_at(forecast, i);
-                        levels
-                            .iter()
-                            .rev()
-                            .find(|l| u >= l.min_uncertainty)
-                            .unwrap_or(levels.first().expect("non-empty ladder"))
-                            .tau
+                    if let ScalingStrategy::Adaptive(cfg) = &self.strategy {
+                        e.field("rho", cfg.rho);
                     }
-                };
-                forecast.at(i, tau).max(0.0)
+                });
+                w
             })
             .collect()
     }
 
-    /// Produce the capacity plan for a forecast horizon.
+    /// Produce the capacity plan for a forecast horizon. With
+    /// observability on, follows the per-step decision audit with a
+    /// `plan/summary` info event: the LP objective (`Σ_t c_t`, what the
+    /// optimization minimises), the plan delta (`Σ_t |c_t − c_{t−1}|`,
+    /// how much scaling churn the plan demands), and Algorithm 1's
+    /// conservative-step and regime-switch counts.
     pub fn plan(&self, forecast: &QuantileForecast) -> CapacityPlan {
         let w = self.effective_workload(forecast);
-        match self.backend {
+        let plan = match self.backend {
             PlanningBackend::ClosedForm => plan_point(&w, self.theta, self.min_nodes),
             PlanningBackend::Simplex => plan_point_lp(&w, self.theta, self.min_nodes),
+        };
+        if self.obs.enabled(Level::Info) {
+            let nodes = plan.as_slice();
+            let delta: u64 =
+                nodes.windows(2).map(|p| p[1].abs_diff(p[0]) as u64).sum();
+            let (mut conservative, mut switches) = (0u64, 0u64);
+            let mut prev: Option<bool> = None;
+            for i in 0..forecast.horizon() {
+                let c = self.choose(forecast, i);
+                if c.uncertainty.is_some() {
+                    conservative += u64::from(c.conservative);
+                    if prev.is_some_and(|p| p != c.conservative) {
+                        switches += 1;
+                    }
+                    prev = Some(c.conservative);
+                }
+            }
+            self.obs.info("plan", "summary", |e| {
+                e.field("strategy", self.strategy.audit_name())
+                    .field("horizon", plan.len())
+                    .field("objective_node_steps", plan.total_nodes())
+                    .field("plan_delta", delta)
+                    .field("theta", self.theta)
+                    .field("conservative_steps", conservative)
+                    .field("regime_switches", switches);
+            });
         }
+        plan
     }
 }
 
@@ -133,6 +243,7 @@ mod tests {
     use super::*;
     use crate::adaptive::plan_adaptive;
     use crate::robust::plan_robust;
+    use rpas_obs::MemorySink;
     use rpas_tsmath::Matrix;
 
     fn forecast() -> QuantileForecast {
@@ -178,6 +289,53 @@ mod tests {
         assert_eq!(m.effective_workload(&forecast()), vec![100.0, 100.0]);
         let m = RobustAutoScalingManager::new(60.0, 1, ScalingStrategy::Fixed { tau: 0.95 });
         assert_eq!(m.effective_workload(&forecast()), vec![102.0, 220.0]);
+    }
+
+    #[test]
+    fn observability_does_not_change_the_plan() {
+        let cfg = AdaptiveConfig::new(0.5, 0.95, 5.0);
+        let dark = RobustAutoScalingManager::new(60.0, 1, ScalingStrategy::Adaptive(cfg));
+        let lit = dark.clone().with_obs(Obs::with_sink(Box::new(MemorySink::new())));
+        assert_eq!(dark.plan(&forecast()), lit.plan(&forecast()));
+    }
+
+    #[test]
+    fn adaptive_plan_emits_decision_audit() {
+        let mem = MemorySink::new();
+        let cfg = AdaptiveConfig::new(0.5, 0.95, 5.0);
+        let m = RobustAutoScalingManager::new(60.0, 1, ScalingStrategy::Adaptive(cfg))
+            .with_obs(Obs::with_sink(Box::new(mem.clone())));
+        let plan = m.plan(&forecast());
+
+        let events = mem.events();
+        let decisions: Vec<_> = events.iter().filter(|e| e.name == "decision").collect();
+        assert_eq!(decisions.len(), 2, "one decision per horizon step");
+        // Step 0 is tight (aggressive), step 1 wide (conservative) — see
+        // the adaptive tests deriving the same split.
+        assert_eq!(decisions[0].fields["regime"], rpas_obs::Value::Str("aggressive".into()));
+        assert_eq!(decisions[1].fields["regime"], rpas_obs::Value::Str("conservative".into()));
+        assert_eq!(decisions[0].fields["tau"], rpas_obs::Value::F64(0.5));
+        assert_eq!(decisions[1].fields["tau"], rpas_obs::Value::F64(0.95));
+
+        let summary = events.iter().find(|e| e.name == "summary").expect("plan summary");
+        assert_eq!(summary.fields["objective_node_steps"], rpas_obs::Value::U64(u64::from(plan.total_nodes())));
+        assert_eq!(summary.fields["conservative_steps"], rpas_obs::Value::U64(1));
+        assert_eq!(summary.fields["regime_switches"], rpas_obs::Value::U64(1));
+    }
+
+    #[test]
+    fn fixed_strategy_audit_has_no_uncertainty() {
+        let mem = MemorySink::new();
+        let m = RobustAutoScalingManager::new(60.0, 1, ScalingStrategy::Fixed { tau: 0.9 })
+            .with_obs(Obs::with_sink(Box::new(mem.clone())));
+        let _ = m.plan(&forecast());
+        let events = mem.events();
+        for d in events.iter().filter(|e| e.name == "decision") {
+            assert!(!d.fields.contains_key("uncertainty"));
+            assert!(!d.fields.contains_key("regime"));
+        }
+        let summary = events.iter().find(|e| e.name == "summary").unwrap();
+        assert_eq!(summary.fields["regime_switches"], rpas_obs::Value::U64(0));
     }
 
     #[test]

@@ -28,7 +28,9 @@
 use crate::manager::RobustAutoScalingManager;
 use crate::plan::CapacityPlan;
 use rpas_forecast::{Forecaster, QuantileForecast};
+use rpas_obs::Obs;
 use rpas_traces::RollingWindows;
+use std::time::Instant;
 
 /// Parameters of the rolling-origin protocol: forecast `horizon` steps
 /// from the `context` samples before them, advancing by `horizon` so the
@@ -101,16 +103,51 @@ pub fn quantile_windows<F: Forecaster + ?Sized>(
     spec: RollingSpec,
     levels: &[f64],
 ) -> Vec<(QuantileForecast, Vec<f64>)> {
+    quantile_windows_obs(forecaster, series, spec, levels, &Obs::noop())
+}
+
+/// [`quantile_windows`] with per-window timing events: one
+/// `rolling/window` debug event per decision window (index, start, and
+/// the forecast's wall time in the timing-only `forecast_us` field) plus
+/// a `rolling/eval` info summary for the whole pass.
+///
+/// # Panics
+/// As [`quantile_windows`].
+pub fn quantile_windows_obs<F: Forecaster + ?Sized>(
+    forecaster: &F,
+    series: &[f64],
+    spec: RollingSpec,
+    levels: &[f64],
+    obs: &Obs,
+) -> Vec<(QuantileForecast, Vec<f64>)> {
     let rw = spec.windows(series);
     assert!(!rw.is_empty(), "test series too short for one decision window");
-    rw.iter()
-        .map(|(ctx, actual)| {
+    let pass = Instant::now();
+    let out: Vec<_> = rw
+        .iter()
+        .enumerate()
+        .map(|(k, (ctx, actual))| {
+            let t0 = Instant::now();
             let qf = forecaster
                 .forecast_quantiles(ctx, spec.horizon, levels)
                 .expect("forecast failed during rolling evaluation");
+            obs.debug("rolling", "window", |e| {
+                e.field("index", k)
+                    .field("start", spec.window_start(k))
+                    .field("horizon", spec.horizon)
+                    .field("forecast_us", t0.elapsed().as_micros() as u64);
+            });
             (qf, actual.to_vec())
         })
-        .collect()
+        .collect();
+    obs.emit(rpas_obs::Level::Info, "rolling", "eval", |e| {
+        e.field("forecaster", forecaster.name())
+            .field("windows", out.len())
+            .field("context", spec.context)
+            .field("horizon", spec.horizon);
+        e.wall_us = Some(pass.elapsed().as_micros() as u64);
+    });
+    out
 }
 
 /// The full rolling fit/forecast/plan driver: forecast every window and
@@ -127,7 +164,26 @@ pub fn plan_windows<F: Forecaster + ?Sized>(
     manager: &RobustAutoScalingManager,
     levels: &[f64],
 ) -> Vec<PlannedWindow> {
-    quantile_windows(forecaster, series, spec, levels)
+    plan_windows_obs(forecaster, series, spec, manager, levels, &Obs::noop())
+}
+
+/// [`plan_windows`] with rolling-window timing events routed to `obs`.
+/// The manager's own decision audit is controlled separately by the
+/// handle attached via
+/// [`RobustAutoScalingManager::with_obs`](crate::manager::RobustAutoScalingManager::with_obs)
+/// — pass the same handle to both for one merged trace.
+///
+/// # Panics
+/// As [`quantile_windows`].
+pub fn plan_windows_obs<F: Forecaster + ?Sized>(
+    forecaster: &F,
+    series: &[f64],
+    spec: RollingSpec,
+    manager: &RobustAutoScalingManager,
+    levels: &[f64],
+    obs: &Obs,
+) -> Vec<PlannedWindow> {
+    quantile_windows_obs(forecaster, series, spec, levels, obs)
         .into_iter()
         .enumerate()
         .map(|(k, (forecast, actuals))| {

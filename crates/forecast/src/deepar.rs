@@ -14,6 +14,7 @@
 use crate::types::{validate_levels, ForecastError, Forecaster, PointForecaster, QuantileForecast};
 use rpas_nn::loss::{student_t_nll, NU_OFFSET, SIGMA_FLOOR};
 use rpas_nn::{Adam, Dense, GruCell, Layer};
+use rpas_obs::Obs;
 use rpas_traces::WindowDataset;
 use rpas_tsmath::special::softplus;
 use rpas_tsmath::stats;
@@ -60,6 +61,7 @@ pub struct DeepAr {
     cfg: DeepArConfig,
     gru: Option<GruCell>,
     head: Option<Dense>,
+    obs: Obs,
 }
 
 /// Per-window affine scaling (GluonTS-style): each window is z-scored by
@@ -81,7 +83,15 @@ impl DeepAr {
     pub fn new(cfg: DeepArConfig) -> Self {
         assert!(cfg.context > 1 && cfg.train_window > 2, "degenerate window spec");
         assert!(cfg.hidden > 0 && cfg.num_samples > 0, "degenerate model spec");
-        Self { cfg, gru: None, head: None }
+        Self { cfg, gru: None, head: None, obs: Obs::noop() }
+    }
+
+    /// Builder: attach an observability handle; `fit` then emits one
+    /// `train.deepar/epoch` debug event per epoch (mean NLL loss, mean
+    /// pre-clip gradient norm across GRU + head).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Borrow the config.
@@ -151,7 +161,9 @@ impl Forecaster for DeepAr {
         let mut head = Dense::new(c.hidden, 3, &mut r);
         let mut opt = Adam::new(c.lr);
 
-        for _epoch in 0..c.epochs {
+        for epoch in 0..c.epochs {
+            let mut epoch_loss = 0.0;
+            let mut norm_sum = 0.0;
             for _ in 0..c.windows_per_epoch {
                 let idx = (rng::uniform_open(&mut r) * ds.len() as f64) as usize;
                 let (raw_win, _) = ds.example(idx.min(ds.len() - 1));
@@ -165,8 +177,9 @@ impl Forecaster for DeepAr {
                 for t in 1..win.len() {
                     h = gru.forward(&[win[t - 1]], &h);
                     let out = head.forward(&h);
-                    let (_, dmu, dsr, dnr) = student_t_nll(out[0], out[1], out[2], win[t]);
+                    let (l, dmu, dsr, dnr) = student_t_nll(out[0], out[1], out[2], win[t]);
                     let s = 1.0 / steps as f64;
+                    epoch_loss += l * s;
                     d_outs.push([dmu * s, dsr * s, dnr * s]);
                 }
 
@@ -181,14 +194,22 @@ impl Forecaster for DeepAr {
                     dh_next = dh_prev;
                 }
 
-                gru.clip_grad_norm(5.0);
-                head.clip_grad_norm(5.0);
+                // The components clip independently; the audit records
+                // their combined pre-clip global norm.
+                let ng = gru.clip_grad_norm(5.0);
+                let nh = head.clip_grad_norm(5.0);
+                norm_sum += (ng * ng + nh * nh).sqrt();
                 opt.begin_step();
                 gru.visit_params(&mut |p| opt.update(p));
                 head.visit_params(&mut |p| opt.update(p));
                 gru.zero_grad();
                 head.zero_grad();
             }
+            self.obs.debug("train.deepar", "epoch", |e| {
+                e.field("epoch", epoch)
+                    .field("loss", epoch_loss / c.windows_per_epoch as f64)
+                    .field("grad_norm", norm_sum / c.windows_per_epoch as f64);
+            });
         }
 
         self.gru = Some(gru);

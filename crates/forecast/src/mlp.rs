@@ -12,6 +12,7 @@
 use crate::types::{validate_levels, ForecastError, Forecaster, PointForecaster, QuantileForecast};
 use rpas_nn::loss::{gaussian_nll, student_t_nll, NU_OFFSET, SIGMA_FLOOR};
 use rpas_nn::{Activation, Adam, Layer, Mlp};
+use rpas_obs::Obs;
 use rpas_traces::WindowDataset;
 use rpas_tsmath::special::softplus;
 use rpas_tsmath::stats::Standardizer;
@@ -69,6 +70,7 @@ pub struct MlpProb {
     params_per_step: usize,
     net: Option<Mlp>,
     scaler: Option<Standardizer>,
+    obs: Obs,
 }
 
 impl MlpProb {
@@ -83,7 +85,15 @@ impl MlpProb {
             DistKind::Gaussian => 2,
             DistKind::StudentT => 3,
         };
-        Self { cfg, params_per_step, net: None, scaler: None }
+        Self { cfg, params_per_step, net: None, scaler: None, obs: Obs::noop() }
+    }
+
+    /// Builder: attach an observability handle; `fit` then emits one
+    /// `train.mlp/epoch` debug event per epoch (mean NLL loss, mean
+    /// pre-clip gradient norm).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Borrow the config.
@@ -159,7 +169,9 @@ impl Forecaster for MlpProb {
         let mut opt = Adam::new(c.lr);
 
         let k = self.params_per_step;
-        for _epoch in 0..c.epochs {
+        for epoch in 0..c.epochs {
+            let mut epoch_loss = 0.0;
+            let mut norm_sum = 0.0;
             for _ in 0..c.windows_per_epoch {
                 let idx = (rng::uniform_open(&mut r) * ds.len() as f64) as usize;
                 let (ctx, tgt) = ds.example(idx.min(ds.len() - 1));
@@ -168,13 +180,15 @@ impl Forecaster for MlpProb {
                 for (h, &y) in tgt.iter().enumerate() {
                     match c.dist {
                         DistKind::Gaussian => {
-                            let (_, dmu, dsr) = gaussian_nll(out[h * k], out[h * k + 1], y);
+                            let (l, dmu, dsr) = gaussian_nll(out[h * k], out[h * k + 1], y);
+                            epoch_loss += l / c.horizon as f64;
                             dout[h * k] = dmu / c.horizon as f64;
                             dout[h * k + 1] = dsr / c.horizon as f64;
                         }
                         DistKind::StudentT => {
-                            let (_, dmu, dsr, dnr) =
+                            let (l, dmu, dsr, dnr) =
                                 student_t_nll(out[h * k], out[h * k + 1], out[h * k + 2], y);
+                            epoch_loss += l / c.horizon as f64;
                             dout[h * k] = dmu / c.horizon as f64;
                             dout[h * k + 1] = dsr / c.horizon as f64;
                             dout[h * k + 2] = dnr / c.horizon as f64;
@@ -182,9 +196,14 @@ impl Forecaster for MlpProb {
                     }
                 }
                 let _ = net.backward(&dout);
-                net.clip_grad_norm(5.0);
+                norm_sum += net.clip_grad_norm(5.0);
                 opt.step_layer(&mut net);
             }
+            self.obs.debug("train.mlp", "epoch", |e| {
+                e.field("epoch", epoch)
+                    .field("loss", epoch_loss / c.windows_per_epoch as f64)
+                    .field("grad_norm", norm_sum / c.windows_per_epoch as f64);
+            });
         }
 
         self.net = Some(net);

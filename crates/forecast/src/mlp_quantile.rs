@@ -13,6 +13,7 @@
 use crate::types::{validate_levels, ForecastError, Forecaster, PointForecaster, QuantileForecast};
 use rpas_nn::loss::pinball_grid;
 use rpas_nn::{Activation, Adam, Layer, Mlp};
+use rpas_obs::Obs;
 use rpas_traces::WindowDataset;
 use rpas_tsmath::stats::Standardizer;
 use rpas_tsmath::{rng, Matrix};
@@ -58,6 +59,7 @@ pub struct MlpQuantile {
     cfg: MlpQuantileConfig,
     net: Option<Mlp>,
     scaler: Option<Standardizer>,
+    obs: Obs,
 }
 
 impl MlpQuantile {
@@ -72,7 +74,15 @@ impl MlpQuantile {
             "quantile grid must be non-empty and strictly increasing"
         );
         assert!(cfg.quantiles.iter().all(|&q| q > 0.0 && q < 1.0), "grid levels must be in (0,1)");
-        Self { cfg, net: None, scaler: None }
+        Self { cfg, net: None, scaler: None, obs: Obs::noop() }
+    }
+
+    /// Builder: attach an observability handle; `fit` then emits one
+    /// `train.mlp-quantile/epoch` debug event per epoch (mean pinball
+    /// loss, mean pre-clip gradient norm).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Borrow the config.
@@ -137,7 +147,9 @@ impl Forecaster for MlpQuantile {
         let mut opt = Adam::new(c.lr);
         let nq = c.quantiles.len();
 
-        for _ in 0..c.epochs {
+        for epoch in 0..c.epochs {
+            let mut epoch_loss = 0.0;
+            let mut norm_sum = 0.0;
             for _ in 0..c.windows_per_epoch {
                 let idx = (rng::uniform_open(&mut r) * ds.len() as f64) as usize;
                 let (ctx, tgt) = ds.example(idx.min(ds.len() - 1));
@@ -146,15 +158,21 @@ impl Forecaster for MlpQuantile {
                 let scale = 1.0 / c.horizon as f64;
                 for (h, &y) in tgt.iter().enumerate() {
                     let preds = &out[h * nq..(h + 1) * nq];
-                    let (_, g) = pinball_grid(preds, y, &c.quantiles);
+                    let (l, g) = pinball_grid(preds, y, &c.quantiles);
+                    epoch_loss += l * scale;
                     for (i, gi) in g.iter().enumerate() {
                         dout[h * nq + i] = gi * scale;
                     }
                 }
                 let _ = net.backward(&dout);
-                net.clip_grad_norm(5.0);
+                norm_sum += net.clip_grad_norm(5.0);
                 opt.step_layer(&mut net);
             }
+            self.obs.debug("train.mlp-quantile", "epoch", |e| {
+                e.field("epoch", epoch)
+                    .field("loss", epoch_loss / c.windows_per_epoch as f64)
+                    .field("grad_norm", norm_sum / c.windows_per_epoch as f64);
+            });
         }
 
         self.net = Some(net);

@@ -19,6 +19,7 @@
 use crate::types::{validate_levels, ForecastError, Forecaster, PointForecaster, QuantileForecast};
 use rpas_nn::loss::pinball_grid;
 use rpas_nn::{Adam, Dense, GatedResidualNetwork, Layer, LstmCell, MultiHeadAttention};
+use rpas_obs::Obs;
 use rpas_traces::WindowDataset;
 use rpas_tsmath::stats::Standardizer;
 use rpas_tsmath::{rng, Matrix};
@@ -85,16 +86,6 @@ impl TftNet {
         self.visit(&mut |p| p.zero_grad());
     }
 
-    fn clip(&mut self, max_norm: f64) {
-        let mut sq = 0.0;
-        self.visit(&mut |p| sq += p.grad.iter().map(|g| g * g).sum::<f64>());
-        let norm = sq.sqrt();
-        if norm > max_norm && norm > 0.0 {
-            let s = max_norm / norm;
-            self.visit(&mut |p| p.grad.iter_mut().for_each(|g| *g *= s));
-        }
-    }
-
     fn clear_cache(&mut self) {
         self.input_proj.clear_cache();
         self.lstm.clear_cache();
@@ -121,6 +112,7 @@ pub struct Tft {
     net: Option<TftNet>,
     scaler: Option<Standardizer>,
     posenc: Matrix,
+    obs: Obs,
 }
 
 /// Sinusoidal positional encoding table `len × d`.
@@ -150,7 +142,15 @@ impl Tft {
         );
         assert!(cfg.quantiles.iter().all(|&q| q > 0.0 && q < 1.0), "grid levels must be in (0,1)");
         let posenc = positional_encoding(cfg.context, cfg.d_model);
-        Self { cfg, net: None, scaler: None, posenc }
+        Self { cfg, net: None, scaler: None, posenc, obs: Obs::noop() }
+    }
+
+    /// Builder: attach an observability handle; `fit` then emits one
+    /// `train.tft/epoch` debug event per epoch (mean pinball loss, mean
+    /// pre-clip gradient norm).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Borrow the config.
@@ -324,7 +324,9 @@ impl Forecaster for Tft {
         let mut opt = Adam::new(c.lr);
         let nq = c.quantiles.len();
 
-        for _epoch in 0..c.epochs {
+        for epoch in 0..c.epochs {
+            let mut epoch_loss = 0.0;
+            let mut norm_sum = 0.0;
             for _ in 0..c.windows_per_epoch {
                 let idx = (rng::uniform_open(&mut r) * ds.len() as f64) as usize;
                 let (ctx, tgt) = ds.example(idx.min(ds.len() - 1));
@@ -333,19 +335,25 @@ impl Forecaster for Tft {
                 let scale = 1.0 / (c.horizon as f64);
                 for (h, &y) in tgt.iter().enumerate() {
                     let preds = &out[h * nq..(h + 1) * nq];
-                    let (_, g) = pinball_grid(preds, y, &c.quantiles);
+                    let (l, g) = pinball_grid(preds, y, &c.quantiles);
+                    epoch_loss += l * scale;
                     for (i, gi) in g.iter().enumerate() {
                         dout[h * nq + i] = gi * scale;
                     }
                 }
                 self.backward_train(&dout);
                 let net = self.net.as_mut().expect("initialised above");
-                net.clip(5.0);
+                norm_sum += net.clip_grad_norm(5.0);
                 opt.begin_step();
                 net.visit(&mut |p| opt.update(p));
                 net.zero_grad();
                 net.clear_cache();
             }
+            self.obs.debug("train.tft", "epoch", |e| {
+                e.field("epoch", epoch)
+                    .field("loss", epoch_loss / c.windows_per_epoch as f64)
+                    .field("grad_norm", norm_sum / c.windows_per_epoch as f64);
+            });
         }
 
         self.scaler = Some(scaler);

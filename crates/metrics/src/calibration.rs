@@ -3,6 +3,7 @@
 //! empirical coverage of the τ-quantile equals τ at every level.
 
 use crate::quantile::coverage;
+use rpas_obs::Obs;
 
 /// One point on a reliability curve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,19 +31,61 @@ pub fn calibration_curve(
         .collect()
 }
 
+/// [`calibration_curve`] with a degenerate-window audit: an empty
+/// `actuals` slice makes every coverage `NaN` (zero-request windows do
+/// reach this path through rolling evaluation over idle traces), so the
+/// obs variant emits one `metrics/empty_window` warn event naming the
+/// metric before returning the same curve.
+///
+/// # Panics
+/// As [`calibration_curve`].
+pub fn calibration_curve_obs(
+    actuals: &[f64],
+    per_level: &[Vec<f64>],
+    taus: &[f64],
+    obs: &Obs,
+) -> Vec<CalibrationPoint> {
+    if actuals.is_empty() {
+        obs.warn("metrics", "empty_window", |e| {
+            e.field("metric", "calibration_curve").field("levels", taus.len());
+        });
+    }
+    calibration_curve(actuals, per_level, taus)
+}
+
 /// Mean absolute calibration error `mean_τ |coverage(τ) − τ|`
 /// (0 = perfectly calibrated).
+///
+/// Non-finite curve points (empty-window coverage) are skipped instead of
+/// silently poisoning the mean; a curve with no finite point returns
+/// `NaN`, making the degenerate case explicit rather than contagious.
 pub fn calibration_error(curve: &[CalibrationPoint]) -> f64 {
     assert!(!curve.is_empty(), "empty calibration curve");
-    curve.iter().map(|p| (p.coverage - p.tau).abs()).sum::<f64>() / curve.len() as f64
+    finite_mean(curve.iter().map(|p| (p.coverage - p.tau).abs()))
 }
 
 /// Signed mean calibration bias: positive when the forecaster is
 /// over-covered (quantiles too high / conservative), negative when
 /// under-covered (the dangerous direction for auto-scaling).
+///
+/// Skips non-finite points exactly like [`calibration_error`].
 pub fn calibration_bias(curve: &[CalibrationPoint]) -> f64 {
     assert!(!curve.is_empty(), "empty calibration curve");
-    curve.iter().map(|p| p.coverage - p.tau).sum::<f64>() / curve.len() as f64
+    finite_mean(curve.iter().map(|p| p.coverage - p.tau))
+}
+
+/// Mean over the finite values of the iterator; `NaN` when none are.
+fn finite_mean(values: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0usize);
+    for v in values.filter(|v| v.is_finite()) {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        sum / n as f64
+    }
 }
 
 #[cfg(test)]
@@ -94,5 +137,43 @@ mod tests {
     #[should_panic(expected = "level count mismatch")]
     fn mismatched_levels_panic() {
         calibration_curve(&[1.0], &[vec![1.0]], &[0.1, 0.9]);
+    }
+
+    #[test]
+    fn nan_coverage_points_do_not_poison_the_error() {
+        // Regression: a single empty-window (NaN-coverage) point used to
+        // turn the whole calibration error NaN.
+        let curve = vec![
+            CalibrationPoint { tau: 0.5, coverage: 0.5 },
+            CalibrationPoint { tau: 0.9, coverage: f64::NAN },
+        ];
+        assert_eq!(calibration_error(&curve), 0.0);
+        assert_eq!(calibration_bias(&curve), 0.0);
+    }
+
+    #[test]
+    fn all_nan_curve_stays_nan() {
+        let curve = vec![CalibrationPoint { tau: 0.5, coverage: f64::NAN }];
+        assert!(calibration_error(&curve).is_nan());
+        assert!(calibration_bias(&curve).is_nan());
+    }
+
+    #[test]
+    fn empty_window_emits_warn_event() {
+        let mem = rpas_obs::MemorySink::new();
+        let obs = Obs::with_sink(Box::new(mem.clone()));
+        let curve = calibration_curve_obs(&[], &[vec![]], &[0.9], &obs);
+        assert!(curve[0].coverage.is_nan());
+        let events = mem.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].level, rpas_obs::Level::Warn);
+        assert_eq!(events[0].name, "empty_window");
+    }
+
+    #[test]
+    fn obs_variant_matches_on_normal_input() {
+        let (a, p, t) = exact_setup();
+        let curve = calibration_curve_obs(&a, &p, &t, &Obs::noop());
+        assert_eq!(curve, calibration_curve(&a, &p, &t));
     }
 }

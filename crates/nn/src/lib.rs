@@ -67,12 +67,18 @@ pub trait Layer {
         n
     }
 
+    /// Global L2 norm of every accumulated gradient, without modifying
+    /// them (what training-loop instrumentation records per epoch).
+    fn grad_norm(&mut self) -> f64 {
+        let mut sq = 0.0;
+        self.visit_params(&mut |p| sq += p.grad.iter().map(|g| g * g).sum::<f64>());
+        sq.sqrt()
+    }
+
     /// Global-norm gradient clipping across every parameter of the layer.
     /// Returns the pre-clip global norm.
     fn clip_grad_norm(&mut self, max_norm: f64) -> f64 {
-        let mut sq = 0.0;
-        self.visit_params(&mut |p| sq += p.grad.iter().map(|g| g * g).sum::<f64>());
-        let norm = sq.sqrt();
+        let norm = self.grad_norm();
         if norm > max_norm && norm > 0.0 {
             let s = max_norm / norm;
             self.visit_params(&mut |p| p.grad.iter_mut().for_each(|g| *g *= s));

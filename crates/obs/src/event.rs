@@ -1,0 +1,277 @@
+//! The structured event model: severity levels, scalar field values, and
+//! the [`Event`] record every sink consumes.
+//!
+//! Determinism contract: an event's *content* — level, span, name, and
+//! every field whose key does **not** end in `_us` — is a pure function of
+//! the computation being observed. Wall-clock time only ever appears in
+//! the reserved timing slots (`ts_us`, `wall_us`, and `*_us` fields), so
+//! two runs of the same seeded experiment produce byte-identical content
+//! (see [`Event::content_line`]) while still carrying real timings.
+
+use crate::json::escape_str;
+use std::collections::BTreeMap;
+
+/// Severity of an event, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// The operation failed or produced unusable output.
+    Error,
+    /// Something suspicious (NaN guard, empty window) worth surfacing.
+    Warn,
+    /// Run-level milestones: phase starts, plan summaries, reports.
+    Info,
+    /// Per-step detail: decision audits, per-epoch losses, sim steps.
+    Debug,
+}
+
+impl Level {
+    /// Lower-case name used in the JSONL schema and `RPAS_LOG`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    /// Parse an `RPAS_LOG`-style name (`off` is handled by the caller).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s {
+            "error" => Some(Level::Error),
+            "warn" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// A scalar field value. Deliberately no nested structure: flat fields
+/// keep the JSONL schema greppable and the stderr rendering one-line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Boolean flag.
+    Bool(bool),
+    /// Signed integer (deltas, regret).
+    I64(i64),
+    /// Unsigned integer (counts, indices, node totals).
+    U64(u64),
+    /// Floating-point measurement. Non-finite values serialize as the
+    /// strings `"NaN"`, `"inf"`, `"-inf"` (JSON has no literal for them).
+    F64(f64),
+    /// Short free-form text (names, regimes, encoded histograms).
+    Str(String),
+}
+
+impl Value {
+    /// Render as a JSON value fragment.
+    pub fn to_json(&self) -> String {
+        match self {
+            Value::Bool(b) => b.to_string(),
+            Value::I64(i) => i.to_string(),
+            Value::U64(u) => u.to_string(),
+            Value::F64(x) if x.is_nan() => "\"NaN\"".to_string(),
+            Value::F64(x) if x.is_infinite() => {
+                if *x > 0.0 { "\"inf\"".to_string() } else { "\"-inf\"".to_string() }
+            }
+            Value::F64(x) => format_f64(*x),
+            Value::Str(s) => format!("\"{}\"", escape_str(s)),
+        }
+    }
+
+    /// Render for the human-readable stderr sink (unquoted strings).
+    pub fn display(&self) -> String {
+        match self {
+            Value::Str(s) => s.clone(),
+            other => other.to_json(),
+        }
+    }
+}
+
+/// `{}`-format a float, forcing a decimal point or exponent so the JSON
+/// value round-trips as a float (`3` would re-parse as an integer).
+fn format_f64(x: f64) -> String {
+    let s = format!("{x}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// One structured event. Built by the emitting site inside an
+/// [`crate::Obs::emit`] closure (never constructed when no sink is
+/// listening), then fanned out to every installed sink by reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Monotone sequence number within one [`crate::Obs`] handle.
+    pub seq: u64,
+    /// Wall-clock micros since the Unix epoch (timing only; excluded from
+    /// the deterministic content).
+    pub ts_us: u64,
+    /// Severity.
+    pub level: Level,
+    /// The subsystem / span this event belongs to (`plan`, `train.tft`,
+    /// `sim`, `rolling`, ...).
+    pub span: String,
+    /// Event name within the span (`decision`, `epoch`, `step`, ...).
+    pub name: String,
+    /// Flat key → scalar fields, deterministically ordered.
+    pub fields: BTreeMap<String, Value>,
+    /// Optional span duration in micros (timing only).
+    pub wall_us: Option<u64>,
+}
+
+impl Event {
+    /// New event shell; `seq`/`ts_us` are stamped by the [`crate::Obs`]
+    /// handle at emit time.
+    pub fn new(level: Level, span: &str, name: &str) -> Self {
+        Self {
+            seq: 0,
+            ts_us: 0,
+            level,
+            span: span.to_string(),
+            name: name.to_string(),
+            fields: BTreeMap::new(),
+            wall_us: None,
+        }
+    }
+
+    /// Add a field (builder style inside emit closures).
+    pub fn field(&mut self, key: &str, value: impl Into<Value>) -> &mut Self {
+        self.fields.insert(key.to_string(), value.into());
+        self
+    }
+
+    /// Serialize as one schema-v1 JSONL line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str(&format!(
+            "{{\"v\":{},\"seq\":{},\"ts_us\":{},\"level\":\"{}\",\"span\":\"{}\",\"event\":\"{}\",\"fields\":{{",
+            crate::schema::SCHEMA_VERSION,
+            self.seq,
+            self.ts_us,
+            self.level.as_str(),
+            escape_str(&self.span),
+            escape_str(&self.name),
+        ));
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", escape_str(k), v.to_json()));
+        }
+        out.push_str("}");
+        if let Some(w) = self.wall_us {
+            out.push_str(&format!(",\"wall_us\":{w}"));
+        }
+        out.push('}');
+        out
+    }
+
+    /// The deterministic content of the event: level, span, name, and all
+    /// non-timing fields (keys ending in `_us` are timing by contract).
+    /// Two runs of the same seeded computation must produce identical
+    /// content lines even though `to_json` differs in `ts_us`/`wall_us`.
+    pub fn content_line(&self) -> String {
+        let mut out = format!("{} {}/{}", self.level.as_str(), self.span, self.name);
+        for (k, v) in &self.fields {
+            if k.ends_with("_us") {
+                continue;
+            }
+            out.push_str(&format!(" {k}={}", v.to_json()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_by_severity() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert_eq!(Level::parse("debug"), Some(Level::Debug));
+        assert_eq!(Level::parse("verbose"), None);
+    }
+
+    #[test]
+    fn json_line_shape() {
+        let mut e = Event::new(Level::Info, "plan", "decision");
+        e.field("step", 3usize).field("tau", 0.95).field("regime", "conservative");
+        e.seq = 7;
+        e.ts_us = 123;
+        let s = e.to_json();
+        assert!(s.starts_with("{\"v\":1,\"seq\":7,\"ts_us\":123,"), "{s}");
+        assert!(s.contains("\"regime\":\"conservative\""));
+        assert!(s.contains("\"step\":3"));
+        assert!(s.contains("\"tau\":0.95"));
+    }
+
+    #[test]
+    fn content_line_excludes_timing() {
+        let mut a = Event::new(Level::Debug, "rolling", "window");
+        a.field("index", 0usize).field("forecast_us", 123u64);
+        a.ts_us = 1;
+        a.wall_us = Some(55);
+        let mut b = a.clone();
+        b.ts_us = 999;
+        b.wall_us = Some(77);
+        b.field("forecast_us", 456u64);
+        assert_eq!(a.content_line(), b.content_line());
+        assert_ne!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn nonfinite_floats_serialize_as_strings() {
+        assert_eq!(Value::F64(f64::NAN).to_json(), "\"NaN\"");
+        assert_eq!(Value::F64(f64::INFINITY).to_json(), "\"inf\"");
+        assert_eq!(Value::F64(f64::NEG_INFINITY).to_json(), "\"-inf\"");
+        assert_eq!(Value::F64(3.0).to_json(), "3.0");
+    }
+}

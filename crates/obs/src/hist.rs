@@ -1,0 +1,256 @@
+//! Fixed-bucket histograms: cheap to record (one binary search per
+//! sample), deterministic to serialize, and summarizable into percentile
+//! estimates without retaining samples.
+//!
+//! Serialization: a histogram event carries its state in one `Str` field,
+//! `le=<bound>:<count>;...;inf:<count>` — flat-scalar friendly for the
+//! JSONL schema and parseable back by `trace-report` (see
+//! [`Histogram::encode`] / [`Histogram::decode`]).
+
+use crate::event::{Event, Level};
+use crate::sink::Obs;
+
+/// A histogram over fixed, strictly increasing bucket upper bounds, plus
+/// an implicit `+inf` overflow bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// New histogram with the given inclusive upper bounds.
+    ///
+    /// # Panics
+    /// Panics on an empty or non-increasing bound list.
+    pub fn new(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite and strictly increasing"
+        );
+        let n = bounds.len() + 1;
+        Self { bounds, counts: vec![0; n], count: 0, sum: 0.0 }
+    }
+
+    /// Ready-made bounds for sub-second latencies in microseconds
+    /// (1µs … 10s, one bucket per decade third).
+    pub fn latency_us() -> Self {
+        let mut bounds = Vec::new();
+        let mut b = 1.0;
+        while b <= 1e7 {
+            bounds.push(b);
+            bounds.push(b * 2.0);
+            bounds.push(b * 5.0);
+            b *= 10.0;
+        }
+        Self::new(bounds)
+    }
+
+    /// Record one sample (NaN samples are counted in the overflow bucket
+    /// so they stay visible rather than vanishing).
+    pub fn record(&mut self, v: f64) {
+        let idx = if v.is_nan() {
+            self.bounds.len()
+        } else {
+            self.bounds.partition_point(|&b| b < v)
+        };
+        self.counts[idx] += 1;
+        self.count += 1;
+        if v.is_finite() {
+            self.sum += v;
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the finite samples (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Estimate the `q`-quantile from bucket counts: the upper bound of
+    /// the bucket containing the target rank (the conventional
+    /// fixed-bucket estimator; +inf bucket reports the largest bound).
+    ///
+    /// # Panics
+    /// Panics unless `q ∈ [0, 1]`.
+    pub fn percentile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    *self.bounds.last().expect("non-empty bounds")
+                };
+            }
+        }
+        *self.bounds.last().expect("non-empty bounds")
+    }
+
+    /// Merge another histogram with identical bounds.
+    ///
+    /// # Panics
+    /// Panics on mismatched bounds.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "histogram bound mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Canonical flat-string encoding (`le=10:4;le=100:9;inf:2`).
+    pub fn encode(&self) -> String {
+        let mut parts: Vec<String> = self
+            .bounds
+            .iter()
+            .zip(&self.counts)
+            .map(|(b, c)| format!("le={b}:{c}"))
+            .collect();
+        parts.push(format!("inf:{}", self.counts[self.bounds.len()]));
+        parts.join(";")
+    }
+
+    /// Parse an [`Histogram::encode`]d string back.
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed segment.
+    pub fn decode(s: &str) -> Result<Histogram, String> {
+        let mut bounds = Vec::new();
+        let mut counts = Vec::new();
+        let mut saw_inf = false;
+        for part in s.split(';') {
+            let (key, count) =
+                part.split_once(':').ok_or_else(|| format!("bad histogram segment {part:?}"))?;
+            let count: u64 =
+                count.parse().map_err(|_| format!("bad histogram count {count:?}"))?;
+            if key == "inf" {
+                saw_inf = true;
+                counts.push(count);
+            } else {
+                let bound = key
+                    .strip_prefix("le=")
+                    .and_then(|b| b.parse::<f64>().ok())
+                    .ok_or_else(|| format!("bad histogram bound {key:?}"))?;
+                if saw_inf {
+                    return Err("histogram bound after inf bucket".to_string());
+                }
+                bounds.push(bound);
+                counts.push(count);
+            }
+        }
+        if !saw_inf || bounds.is_empty() {
+            return Err("histogram missing buckets or inf segment".to_string());
+        }
+        let mut h = Histogram::new(bounds);
+        let count = counts.iter().sum();
+        h.counts = counts;
+        h.count = count;
+        // The sum is not carried by the encoding; mean is best-effort on
+        // decode (bucket midpoint estimate is out of scope).
+        h.sum = f64::NAN;
+        Ok(h)
+    }
+
+    /// Emit the histogram as a `histogram` event on `obs`
+    /// (`metric`/`count`/`buckets` fields).
+    pub fn emit(&self, obs: &Obs, span: &str, metric: &str) {
+        obs.emit(Level::Info, span, "histogram", |e: &mut Event| {
+            e.field("metric", metric)
+                .field("count", self.count)
+                .field("buckets", self.encode());
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+
+    #[test]
+    fn records_into_correct_buckets() {
+        let mut h = Histogram::new(vec![10.0, 100.0]);
+        for v in [1.0, 10.0, 11.0, 1000.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.encode(), "le=10:2;le=100:1;inf:1");
+    }
+
+    #[test]
+    fn percentiles_report_bucket_bounds() {
+        let mut h = Histogram::new(vec![1.0, 2.0, 4.0, 8.0]);
+        for v in [0.5, 1.5, 1.6, 3.0, 3.5, 3.9, 5.0, 6.0] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), 1.0);
+        assert_eq!(h.percentile(0.5), 4.0);
+        assert_eq!(h.percentile(1.0), 8.0);
+        assert!(Histogram::new(vec![1.0]).percentile(0.5).is_nan());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut h = Histogram::new(vec![10.0, 100.0, 1000.0]);
+        for v in [5.0, 50.0, 500.0, 5000.0, 7.0] {
+            h.record(v);
+        }
+        let back = Histogram::decode(&h.encode()).unwrap();
+        assert_eq!(back.count(), h.count());
+        assert_eq!(back.encode(), h.encode());
+        assert_eq!(back.percentile(0.9), h.percentile(0.9));
+        assert!(Histogram::decode("le=1:x").is_err());
+        assert!(Histogram::decode("inf:1").is_err());
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(vec![1.0, 10.0]);
+        let mut b = Histogram::new(vec![1.0, 10.0]);
+        a.record(0.5);
+        b.record(5.0);
+        b.record(50.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.encode(), "le=1:1;le=10:1;inf:1");
+    }
+
+    #[test]
+    fn nan_lands_in_overflow() {
+        let mut h = Histogram::new(vec![1.0]);
+        h.record(f64::NAN);
+        assert_eq!(h.encode(), "le=1:0;inf:1");
+    }
+
+    #[test]
+    fn emits_histogram_event() {
+        let mem = MemorySink::new();
+        let obs = Obs::with_sink(Box::new(mem.clone()));
+        let mut h = Histogram::new(vec![1.0]);
+        h.record(0.5);
+        h.emit(&obs, "bench", "plan_us");
+        let ev = mem.events();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].name, "histogram");
+        assert_eq!(ev[0].fields["metric"], crate::Value::Str("plan_us".into()));
+    }
+}

@@ -1,0 +1,52 @@
+//! # rpas-obs
+//!
+//! Zero-dependency structured tracing, metrics, and decision-audit layer
+//! for the rpas workspace — the answer to "why did the system pick 7
+//! nodes at step 412?" without a debugger.
+//!
+//! * [`event`] — the structured event model: [`Level`], scalar [`Value`]s,
+//!   and [`Event`] records with deterministic content (wall-clock only
+//!   ever lives in the reserved `ts_us`/`wall_us`/`*_us` timing slots).
+//! * [`sink`] — pluggable sinks behind the cheap [`Obs`] handle: no-op
+//!   (a single branch on the hot path; the event-building closure never
+//!   runs), human-readable stderr gated by `RPAS_LOG`, schema-v1 JSONL
+//!   via `--trace-out` / `RPAS_TRACE_OUT`, and an in-memory sink for
+//!   tests.
+//! * [`hist`] — fixed-bucket [`Histogram`]s with percentile estimates and
+//!   a flat-string encoding that fits the JSONL schema.
+//! * [`schema`] — the versioned JSONL schema and its validator (used by
+//!   `rpas-cli trace-report` and `scripts/verify.sh`).
+//! * [`json`] — the minimal in-tree JSON reader/writer backing it all.
+//!
+//! Instrumented code takes an [`Obs`] parameter (or carries one) and
+//! defaults to [`Obs::noop`], so the observability layer is strictly
+//! opt-in and free when disabled:
+//!
+//! ```
+//! use rpas_obs::{MemorySink, Obs};
+//!
+//! let mem = MemorySink::new();
+//! let obs = Obs::with_sink(Box::new(mem.clone()));
+//! obs.info("plan", "summary", |e| {
+//!     e.field("nodes", 7u64).field("tau", 0.95);
+//! });
+//! assert_eq!(mem.events().len(), 1);
+//!
+//! // The disabled handle never even builds the event:
+//! let dark = Obs::noop();
+//! dark.info("plan", "summary", |_| unreachable!("no sink is listening"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod hist;
+pub mod json;
+pub mod schema;
+pub mod sink;
+
+pub use event::{Event, Level, Value};
+pub use hist::Histogram;
+pub use json::Json;
+pub use schema::{validate_line, TraceLine, SCHEMA_VERSION};
+pub use sink::{JsonlSink, MemorySink, Obs, Sink, SpanTimer, StderrSink};

@@ -1,0 +1,467 @@
+//! Sinks and the cheap [`Obs`] handle the rest of the workspace threads
+//! through its APIs.
+//!
+//! Design: the no-op handle is `Obs { inner: None }`, so the hot-path
+//! check is a single pointer-sized branch and the *event-building closure
+//! is never invoked* when nothing is listening — disabled instrumentation
+//! costs neither allocations nor field formatting. Enabled handles hold an
+//! `Arc`, making `Obs` `Clone + Send + Sync` and trivially shareable with
+//! worker threads and policy objects.
+
+use crate::event::{Event, Level};
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Where events go. Sinks receive fully-built events by reference and
+/// must be callable from any thread.
+pub trait Sink: Send + Sync {
+    /// Most verbose level this sink wants (events below are skipped).
+    fn max_level(&self) -> Level;
+
+    /// Consume one event.
+    fn emit(&self, event: &Event);
+
+    /// Flush buffered output (JSONL file sink); default no-op.
+    fn flush(&self) {}
+}
+
+/// Human-readable stderr sink (the `RPAS_LOG` target). This is the one
+/// place in the workspace allowed to write to stderr directly — the
+/// `scripts/verify.sh` grep guard enforces that every other crate routes
+/// diagnostics through an [`Obs`] handle.
+pub struct StderrSink {
+    max_level: Level,
+}
+
+impl StderrSink {
+    /// New sink showing events at or above `max_level` severity.
+    pub fn new(max_level: Level) -> Self {
+        Self { max_level }
+    }
+}
+
+impl Sink for StderrSink {
+    fn max_level(&self) -> Level {
+        self.max_level
+    }
+
+    fn emit(&self, event: &Event) {
+        let mut line = format!("[{:5}] {}/{}", event.level.as_str(), event.span, event.name);
+        for (k, v) in &event.fields {
+            line.push_str(&format!(" {k}={}", v.display()));
+        }
+        if let Some(w) = event.wall_us {
+            line.push_str(&format!(" ({})", fmt_us(w)));
+        }
+        eprintln!("{line}");
+    }
+}
+
+fn fmt_us(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.1}ms", us as f64 / 1e3)
+    } else {
+        format!("{:.2}s", us as f64 / 1e6)
+    }
+}
+
+/// JSONL file sink writing one schema-v1 line per event (the
+/// `--trace-out` / `RPAS_TRACE_OUT` target). Captures every level: a
+/// trace file is for post-hoc analysis, so verbosity costs only disk.
+pub struct JsonlSink {
+    file: Mutex<std::io::BufWriter<std::fs::File>>,
+}
+
+impl JsonlSink {
+    /// Create (truncating) the trace file.
+    ///
+    /// # Errors
+    /// Propagates file-creation errors.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self { file: Mutex::new(std::io::BufWriter::new(file)) })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn max_level(&self) -> Level {
+        Level::Debug
+    }
+
+    fn emit(&self, event: &Event) {
+        let mut f = self.file.lock().expect("trace file poisoned");
+        let _ = writeln!(f, "{}", event.to_json());
+    }
+
+    fn flush(&self) {
+        let _ = self.file.lock().expect("trace file poisoned").flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// In-memory sink for tests: records every event; a clone of the handle
+/// reads them back after the instrumented code ran.
+#[derive(Clone, Default)]
+pub struct MemorySink {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl MemorySink {
+    /// New empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of everything captured so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// Number of captured events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("memory sink poisoned").len()
+    }
+
+    /// Whether nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for MemorySink {
+    fn max_level(&self) -> Level {
+        Level::Debug
+    }
+
+    fn emit(&self, event: &Event) {
+        self.events.lock().expect("memory sink poisoned").push(event.clone());
+    }
+}
+
+struct Inner {
+    sinks: Vec<Box<dyn Sink>>,
+    /// Most verbose level any sink wants; pre-computed gate for `enabled`.
+    max_level: Level,
+    seq: AtomicU64,
+}
+
+/// The observability handle: either a no-op (`Obs::noop`) or a shared
+/// bundle of sinks. Cheap to clone, free to carry, safe to share across
+/// threads. APIs across the workspace accept one of these; passing
+/// `Obs::noop()` (the `Default`) keeps them exactly as fast as before the
+/// instrumentation existed.
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => write!(f, "Obs::noop"),
+            Some(i) => write!(f, "Obs({} sinks, ≤{})", i.sinks.len(), i.max_level.as_str()),
+        }
+    }
+}
+
+impl Obs {
+    /// The disabled handle: every `emit` is a single branch, no closure
+    /// call, no allocation.
+    pub fn noop() -> Self {
+        Self { inner: None }
+    }
+
+    /// Handle over one sink.
+    pub fn with_sink(sink: Box<dyn Sink>) -> Self {
+        Self::multi(vec![sink])
+    }
+
+    /// Handle fanning out to several sinks (each filtered by its own
+    /// `max_level`). An empty sink list degenerates to `noop`.
+    pub fn multi(sinks: Vec<Box<dyn Sink>>) -> Self {
+        if sinks.is_empty() {
+            return Self::noop();
+        }
+        let max_level = sinks.iter().map(|s| s.max_level()).max().expect("non-empty");
+        Self { inner: Some(Arc::new(Inner { sinks, max_level, seq: AtomicU64::new(0) })) }
+    }
+
+    /// Build from the environment:
+    ///
+    /// * `RPAS_LOG=error|warn|info|debug|off` — stderr verbosity
+    ///   (default `info`; `off` silences stderr entirely);
+    /// * `RPAS_TRACE_OUT=path` — additionally write every event as
+    ///   schema-v1 JSONL to `path`.
+    ///
+    /// An unwritable trace path falls back to stderr-only with a warning
+    /// event rather than failing the run.
+    pub fn from_env() -> Self {
+        Self::from_env_with_trace(std::env::var("RPAS_TRACE_OUT").ok().as_deref())
+    }
+
+    /// As [`Obs::from_env`], but with the trace path supplied explicitly
+    /// (CLI `--trace-out` overrides `RPAS_TRACE_OUT`).
+    pub fn from_env_with_trace(trace_out: Option<&str>) -> Self {
+        let mut sinks: Vec<Box<dyn Sink>> = Vec::new();
+        let level = match std::env::var("RPAS_LOG").ok().as_deref() {
+            None => Some(Level::Info),
+            Some("off") => None,
+            Some(s) => match Level::parse(s) {
+                Some(l) => Some(l),
+                None => {
+                    // Bootstrapping problem: no sink exists yet, so this
+                    // warning has nowhere else to go.
+                    eprintln!("[warn ] obs/env bad RPAS_LOG value {s:?}; using info");
+                    Some(Level::Info)
+                }
+            },
+        };
+        if let Some(l) = level {
+            sinks.push(Box::new(StderrSink::new(l)));
+        }
+        let mut trace_err = None;
+        if let Some(path) = trace_out {
+            match JsonlSink::create(std::path::Path::new(path)) {
+                Ok(s) => sinks.push(Box::new(s)),
+                Err(e) => trace_err = Some((path.to_string(), e)),
+            }
+        }
+        let obs = Self::multi(sinks);
+        if let Some((path, e)) = trace_err {
+            obs.warn("obs", "trace_open_failed", |ev| {
+                ev.field("path", path.as_str()).field("error", e.to_string());
+            });
+        }
+        obs
+    }
+
+    /// Whether any sink listens at `level`. Use to skip *computation* that
+    /// exists only to feed an event; `emit` already does this internally.
+    pub fn enabled(&self, level: Level) -> bool {
+        match &self.inner {
+            None => false,
+            Some(i) => level <= i.max_level,
+        }
+    }
+
+    /// Emit one event: the closure builds fields onto a fresh [`Event`]
+    /// and runs only if some sink listens at `level`.
+    pub fn emit(&self, level: Level, span: &str, name: &str, build: impl FnOnce(&mut Event)) {
+        let Some(inner) = &self.inner else { return };
+        if level > inner.max_level {
+            return;
+        }
+        let mut event = Event::new(level, span, name);
+        build(&mut event);
+        self.dispatch(inner, event);
+    }
+
+    fn dispatch(&self, inner: &Inner, mut event: Event) {
+        event.seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+        event.ts_us = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        for sink in &inner.sinks {
+            if event.level <= sink.max_level() {
+                sink.emit(&event);
+            }
+        }
+    }
+
+    /// [`Obs::emit`] at error level.
+    pub fn error(&self, span: &str, name: &str, build: impl FnOnce(&mut Event)) {
+        self.emit(Level::Error, span, name, build);
+    }
+
+    /// [`Obs::emit`] at warn level.
+    pub fn warn(&self, span: &str, name: &str, build: impl FnOnce(&mut Event)) {
+        self.emit(Level::Warn, span, name, build);
+    }
+
+    /// [`Obs::emit`] at info level.
+    pub fn info(&self, span: &str, name: &str, build: impl FnOnce(&mut Event)) {
+        self.emit(Level::Info, span, name, build);
+    }
+
+    /// [`Obs::emit`] at debug level.
+    pub fn debug(&self, span: &str, name: &str, build: impl FnOnce(&mut Event)) {
+        self.emit(Level::Debug, span, name, build);
+    }
+
+    /// Emit a monotone counter increment (`event=counter`,
+    /// `metric`/`delta` fields); `trace-report` totals these per metric.
+    pub fn counter(&self, span: &str, metric: &str, delta: u64) {
+        self.debug(span, "counter", |e| {
+            e.field("metric", metric).field("delta", delta);
+        });
+    }
+
+    /// Emit a point-in-time gauge reading (`event=gauge`).
+    pub fn gauge(&self, span: &str, metric: &str, value: f64) {
+        self.debug(span, "gauge", |e| {
+            e.field("metric", metric).field("value", value);
+        });
+    }
+
+    /// Start a wall-clock span timer; the returned guard emits a
+    /// `span_close` event with `wall_us` when dropped (or via
+    /// [`SpanTimer::finish`] to attach extra fields).
+    #[must_use = "the span closes when the guard drops"]
+    pub fn span(&self, span: &str, name: &str) -> SpanTimer {
+        SpanTimer {
+            obs: self.clone(),
+            span: span.to_string(),
+            name: name.to_string(),
+            start: Instant::now(),
+            armed: self.enabled(Level::Info),
+        }
+    }
+
+    /// Flush every sink (call before process exit so JSONL buffers land).
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            for sink in &inner.sinks {
+                sink.flush();
+            }
+        }
+    }
+}
+
+/// RAII wall-clock timer for a phase; see [`Obs::span`].
+pub struct SpanTimer {
+    obs: Obs,
+    span: String,
+    name: String,
+    start: Instant,
+    armed: bool,
+}
+
+impl SpanTimer {
+    /// Elapsed wall-clock so far.
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    /// Close the span now, attaching extra fields to the close event.
+    pub fn finish(mut self, build: impl FnOnce(&mut Event)) {
+        self.close(build);
+    }
+
+    fn close(&mut self, build: impl FnOnce(&mut Event)) {
+        if !self.armed {
+            return;
+        }
+        self.armed = false;
+        let wall = self.elapsed_us();
+        let (span, name) = (self.span.clone(), self.name.clone());
+        self.obs.emit(Level::Info, &span, "span_close", move |e| {
+            e.field("phase", name.as_str());
+            e.wall_us = Some(wall);
+            build(e);
+        });
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        self.close(|_| {});
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_never_invokes_builder() {
+        let obs = Obs::noop();
+        let mut built = 0;
+        obs.emit(Level::Error, "x", "y", |_| built += 1);
+        obs.counter("x", "m", 1);
+        assert_eq!(built, 0);
+        assert!(!obs.enabled(Level::Error));
+    }
+
+    #[test]
+    fn memory_sink_captures_in_order_with_seq() {
+        let mem = MemorySink::new();
+        let obs = Obs::with_sink(Box::new(mem.clone()));
+        obs.info("a", "first", |e| {
+            e.field("k", 1u64);
+        });
+        obs.debug("a", "second", |_| {});
+        let ev = mem.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].name, "first");
+        assert_eq!(ev[1].name, "second");
+        assert_eq!(ev[0].seq, 0);
+        assert_eq!(ev[1].seq, 1);
+    }
+
+    #[test]
+    fn sink_level_filters() {
+        struct Quiet(MemorySink);
+        impl Sink for Quiet {
+            fn max_level(&self) -> Level {
+                Level::Warn
+            }
+            fn emit(&self, e: &Event) {
+                self.0.emit(e);
+            }
+        }
+        let mem = MemorySink::new();
+        let obs = Obs::with_sink(Box::new(Quiet(mem.clone())));
+        obs.info("s", "dropped", |_| {});
+        obs.warn("s", "kept", |_| {});
+        assert!(obs.enabled(Level::Warn));
+        assert!(!obs.enabled(Level::Info));
+        let ev = mem.events();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].name, "kept");
+    }
+
+    #[test]
+    fn span_timer_emits_wall_time() {
+        let mem = MemorySink::new();
+        let obs = Obs::with_sink(Box::new(mem.clone()));
+        {
+            let t = obs.span("phase", "fit");
+            t.finish(|e| {
+                e.field("model", "tft");
+            });
+        }
+        let ev = mem.events();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].name, "span_close");
+        assert!(ev[0].wall_us.is_some());
+        assert_eq!(ev[0].fields["model"], crate::Value::Str("tft".into()));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path = std::env::temp_dir().join(format!("rpas_obs_test_{}.jsonl", std::process::id()));
+        {
+            let obs =
+                Obs::with_sink(Box::new(JsonlSink::create(&path).expect("create trace file")));
+            obs.info("plan", "summary", |e| {
+                e.field("nodes", 42u64);
+            });
+            obs.flush();
+        }
+        let text = std::fs::read_to_string(&path).expect("read trace back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1);
+        crate::schema::validate_line(lines[0]).expect("schema-valid line");
+        std::fs::remove_file(&path).ok();
+    }
+}

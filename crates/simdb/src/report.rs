@@ -54,4 +54,71 @@ impl SimulationReport {
     pub fn total_node_steps(&self) -> u64 {
         self.steps.iter().map(|s| s.target_nodes as u64).sum()
     }
+
+    /// Mean utilization over the run, guarded against silent NaN
+    /// propagation: non-finite per-step utilizations (degenerate capacity
+    /// arithmetic) are skipped, and a report with no usable steps yields
+    /// `0.0` instead of `NaN` so downstream aggregation stays finite.
+    pub fn mean_utilization(&self) -> f64 {
+        let finite: Vec<f64> =
+            self.steps.iter().map(|s| s.utilization).filter(|u| u.is_finite()).collect();
+        if finite.is_empty() {
+            return 0.0;
+        }
+        finite.iter().sum::<f64>() / finite.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpas_metrics::ProvisioningReport;
+
+    fn report(steps: Vec<StepRecord>) -> SimulationReport {
+        SimulationReport {
+            policy: "test".into(),
+            steps,
+            provisioning: ProvisioningReport {
+                under_rate: 0.0,
+                over_rate: 0.0,
+                exact_rate: 0.0,
+                avg_allocated: 0.0,
+                avg_required: 0.0,
+                excess_node_steps: 0.0,
+                deficit_node_steps: 0.0,
+            },
+            violation_rate: 0.0,
+            scale_out_events: 0,
+            scale_in_events: 0,
+            checkpoint_reads: 0,
+        }
+    }
+
+    fn step(utilization: f64) -> StepRecord {
+        StepRecord {
+            step: 0,
+            workload: 0.0,
+            target_nodes: 1,
+            effective_capacity: 1.0,
+            utilization,
+            violation: false,
+        }
+    }
+
+    #[test]
+    fn mean_utilization_is_finite_on_empty_report() {
+        assert_eq!(report(vec![]).mean_utilization(), 0.0);
+    }
+
+    #[test]
+    fn mean_utilization_skips_non_finite_steps() {
+        let r = report(vec![step(0.5), step(f64::NAN), step(1.5), step(f64::INFINITY)]);
+        assert_eq!(r.mean_utilization(), 1.0);
+    }
+
+    #[test]
+    fn mean_utilization_all_nan_yields_zero() {
+        let r = report(vec![step(f64::NAN), step(f64::NAN)]);
+        assert_eq!(r.mean_utilization(), 0.0);
+    }
 }

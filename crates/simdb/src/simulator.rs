@@ -7,6 +7,7 @@ use crate::report::{SimulationReport, StepRecord};
 use crate::storage::SharedStorage;
 use crate::warmup::WarmupModel;
 use rpas_metrics::provisioning_rates;
+use rpas_obs::{Level, Obs};
 use rpas_traces::Trace;
 use std::sync::Arc;
 
@@ -41,6 +42,7 @@ impl Default for SimConfig {
 pub struct Simulation<'a> {
     cfg: SimConfig,
     trace: &'a Trace,
+    obs: Obs,
 }
 
 impl<'a> Simulation<'a> {
@@ -53,7 +55,17 @@ impl<'a> Simulation<'a> {
         assert!(cfg.theta > 0.0, "theta must be positive");
         assert!(cfg.min_nodes <= cfg.max_nodes, "min_nodes must not exceed max_nodes");
         assert!(cfg.min_nodes >= 1, "a serving cluster needs at least one node");
-        Self { cfg, trace }
+        Self { cfg, trace, obs: Obs::noop() }
+    }
+
+    /// Builder: attach an observability handle. [`Simulation::run`] then
+    /// emits one `sim/step` debug event per interval (utilization, SLO
+    /// violation flag), a `sim/zero_workload` warn if the trace contains
+    /// idle intervals (utilization metrics degenerate there), and a
+    /// `sim/report` info summary per run.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Run the policy over the whole trace.
@@ -81,13 +93,30 @@ impl<'a> Simulation<'a> {
             cluster.scale_to(target, t);
             let capacity = cluster.tick(dt).max(1e-9);
             let utilization = workload / capacity;
+            let violation = utilization > self.cfg.theta * (1.0 + 1e-9);
+            self.obs.debug("sim", "step", |e| {
+                e.field("step", t)
+                    .field("workload", workload)
+                    .field("nodes", target)
+                    .field("utilization", utilization)
+                    .field("violation", violation);
+            });
             steps.push(StepRecord {
                 step: t,
                 workload,
                 target_nodes: target,
                 effective_capacity: capacity,
                 utilization,
-                violation: utilization > self.cfg.theta * (1.0 + 1e-9),
+                violation,
+            });
+        }
+
+        let zero_steps = w.iter().filter(|&&x| x <= 0.0).count();
+        if zero_steps > 0 {
+            self.obs.warn("sim", "zero_workload", |e| {
+                e.field("steps", zero_steps)
+                    .field("total", w.len())
+                    .field("policy", policy.name().to_string());
             });
         }
 
@@ -97,7 +126,7 @@ impl<'a> Simulation<'a> {
         let violation_rate =
             steps.iter().filter(|s| s.violation).count() as f64 / steps.len() as f64;
 
-        SimulationReport {
+        let report = SimulationReport {
             policy: policy.name().to_string(),
             steps,
             provisioning,
@@ -105,7 +134,21 @@ impl<'a> Simulation<'a> {
             scale_out_events: cluster.scale_out_events(),
             scale_in_events: cluster.scale_in_events(),
             checkpoint_reads: cluster.storage().stats().checkpoint_reads,
+        };
+        if self.obs.enabled(Level::Info) {
+            self.obs.info("sim", "report", |e| {
+                e.field("policy", report.policy.clone())
+                    .field("steps", report.steps.len())
+                    .field("violation_rate", report.violation_rate)
+                    .field("under_rate", report.provisioning.under_rate)
+                    .field("over_rate", report.provisioning.over_rate)
+                    .field("mean_utilization", report.mean_utilization())
+                    .field("node_steps", report.total_node_steps())
+                    .field("scale_out_events", report.scale_out_events)
+                    .field("scale_in_events", report.scale_in_events);
+            });
         }
+        report
     }
 }
 
@@ -192,6 +235,35 @@ mod tests {
     fn empty_trace_rejected() {
         let tr = trace(vec![]);
         let _ = Simulation::new(&tr, SimConfig::default());
+    }
+
+    #[test]
+    fn run_emits_step_events_and_report_summary() {
+        let tr = trace(vec![30.0, 0.0, 250.0]);
+        let mem = rpas_obs::MemorySink::new();
+        let sim = Simulation::new(&tr, SimConfig::default())
+            .with_obs(Obs::with_sink(Box::new(mem.clone())));
+        let _ = sim.run(&mut FixedPolicy(2));
+
+        let events = mem.events();
+        assert_eq!(events.iter().filter(|e| e.name == "step").count(), 3);
+        // One idle interval → one zero-workload warning naming it.
+        let warn = events.iter().find(|e| e.name == "zero_workload").expect("warn event");
+        assert_eq!(warn.level, Level::Warn);
+        assert_eq!(warn.fields["steps"], rpas_obs::Value::U64(1));
+        let report = events.iter().find(|e| e.name == "report").expect("summary event");
+        assert!(report.fields["mean_utilization"].to_json().parse::<f64>().unwrap().is_finite());
+    }
+
+    #[test]
+    fn observability_does_not_change_the_run() {
+        let tr = trace(vec![30.0, 130.0, 250.0, 90.0]);
+        let dark = Simulation::new(&tr, SimConfig::default()).run(&mut FixedPolicy(3));
+        let lit = Simulation::new(&tr, SimConfig::default())
+            .with_obs(Obs::with_sink(Box::new(rpas_obs::MemorySink::new())))
+            .run(&mut FixedPolicy(3));
+        assert_eq!(dark.steps, lit.steps);
+        assert_eq!(dark.provisioning, lit.provisioning);
     }
 }
 

@@ -36,10 +36,39 @@ if grep -rn "rand\|crossbeam\|proptest\|criterion\|bytes\|parking_lot\|serde" \
 fi
 echo "ok: no banned references"
 
+echo "== stderr discipline grep guard =="
+# Only the obs stderr sink may write to stderr directly; everything else
+# routes diagnostics through an Obs handle (crates/obs/README: sinks).
+if grep -rn "eprintln!" --include='*.rs' crates/ src/ tests/ 2>/dev/null \
+    | grep -v '^crates/obs/' | grep -v '://'; then
+    echo "ERROR: eprintln! outside crates/obs (route through rpas_obs::Obs)" >&2
+    exit 1
+fi
+echo "ok: stderr writes confined to the obs sink"
+
+echo "== trace round-trip (backtest --trace-out → trace-report) =="
+trace_tmp="$(mktemp -d)"
+trap 'rm -rf "$trace_tmp"' EXIT
+RPAS_PROFILE=quick RPAS_LOG=warn \
+    cargo run -q --release --offline --bin cli -- backtest --trace-out "$trace_tmp/t.jsonl"
+report="$(cargo run -q --release --offline --bin cli -- trace-report --trace "$trace_tmp/t.jsonl")"
+echo "$report" | grep -q "plan/decision" || {
+    echo "ERROR: trace-report is missing plan/decision audit events" >&2
+    exit 1
+}
+echo "$report" | grep -q "decision audit (Algorithm 1)" || {
+    echo "ERROR: trace-report is missing the decision-audit summary" >&2
+    exit 1
+}
+# trace-report schema-validates every line and hard-fails on violations,
+# so reaching this point certifies the whole file against schema v1.
+lines="$(wc -l < "$trace_tmp/t.jsonl")"
+echo "ok: $lines schema-v1 trace lines round-tripped through trace-report"
+
 if [[ "${RPAS_VERIFY_PARALLEL:-0}" == "1" ]]; then
     echo "== table1 thread-count invariance =="
     tmp="$(mktemp -d)"
-    trap 'rm -rf "$tmp"' EXIT
+    trap 'rm -rf "$tmp" "$trace_tmp"' EXIT
     RPAS_PROFILE=quick RPAS_THREADS=1 RPAS_RESULTS_DIR="$tmp/seq" \
         cargo run -q --release --offline -p rpas-bench --bin table1
     RPAS_PROFILE=quick RPAS_RESULTS_DIR="$tmp/par" \

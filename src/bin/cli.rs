@@ -11,13 +11,14 @@
 
 use rpas::cli::ParsedArgs;
 use rpas::core::{
-    QuantilePredictivePolicy, ReactiveAvg, ReactiveMax, ReplanSchedule,
-    RobustAutoScalingManager, ScalingStrategy,
+    backtest_quantile_obs, uncertainty_series, AdaptiveConfig, QuantilePredictivePolicy,
+    ReactiveAvg, ReactiveMax, ReplanSchedule, RobustAutoScalingManager, ScalingStrategy,
 };
 use rpas::forecast::{
     Arima, ArimaConfig, DeepAr, DeepArConfig, Forecaster, HoltWinters, HoltWintersConfig,
     MlpProb, MlpProbConfig, SeasonalNaive, Tft, TftConfig, SCALING_LEVELS,
 };
+use rpas::obs::{validate_line, Histogram, Obs, TraceLine};
 use rpas::simdb::{SimConfig, Simulation};
 use rpas::traces::csv::{read_column, write_columns_to_path, write_trace};
 use rpas::traces::{alibaba_like, google_like, Trace, STEPS_PER_DAY};
@@ -42,6 +43,22 @@ COMMANDS
   simulate   run a scaling policy through the cluster simulator
              --trace FILE  --column NAME  --theta T (60)
              --policy reactive-max|reactive-avg|robust-<tau>  --period N (144)
+  backtest   rolling-origin backtest with full decision audit
+             [--trace FILE --column NAME | --preset alibaba|google (alibaba)]
+             --days N  --seed S (7)  --model seasonal-naive|holt-winters
+             --theta T (60)  --min-nodes N (1)  --train-frac F (0.7)
+             --tau-low Q (0.8)  --tau-high Q (0.95)
+             --rho R (default: median uncertainty of the first window)
+             --context N  --horizon N  (sized by RPAS_PROFILE)
+  trace-report  summarize a schema-v1 JSONL trace
+             --trace FILE
+
+ENVIRONMENT
+  RPAS_LOG        stderr verbosity: error|warn|info|debug|off (info)
+  RPAS_TRACE_OUT  write every event as schema-v1 JSONL to this path
+  RPAS_PROFILE    quick|full — sizes backtest defaults (full)
+
+Any command also accepts --trace-out FILE, overriding RPAS_TRACE_OUT.
 ";
 
 fn main() {
@@ -53,8 +70,14 @@ fn main() {
     match run(args) {
         Ok(()) => {}
         Err(e) => {
-            eprintln!("error: {e}");
-            eprintln!("run `rpas-cli help` for usage");
+            // Diagnostics route through the obs stderr sink (RPAS_LOG),
+            // never raw stderr writes — scripts/verify.sh enforces this.
+            let obs = Obs::from_env();
+            obs.error("cli", "fatal", |ev| {
+                ev.field("error", e.to_string())
+                    .field("hint", "run `rpas-cli help` for usage");
+            });
+            obs.flush();
             std::process::exit(1);
         }
     }
@@ -62,13 +85,21 @@ fn main() {
 
 fn run(args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     let a = ParsedArgs::parse(args)?;
-    match a.command.as_str() {
+    // Every command shares one observability handle: stderr verbosity from
+    // RPAS_LOG, plus a schema-v1 JSONL trace when --trace-out (or
+    // RPAS_TRACE_OUT) is set.
+    let obs = Obs::from_env_with_trace(a.get("trace-out"));
+    let result = match a.command.as_str() {
         "generate" => generate(&a),
-        "forecast" => forecast(&a),
-        "plan" => plan(&a),
-        "simulate" => simulate(&a),
+        "forecast" => forecast(&a, &obs),
+        "plan" => plan(&a, &obs),
+        "simulate" => simulate(&a, &obs),
+        "backtest" => backtest(&a, &obs),
+        "trace-report" => trace_report(&a),
         other => Err(format!("unknown command {other:?}").into()),
-    }
+    };
+    obs.flush();
+    result
 }
 
 fn load_trace(a: &ParsedArgs) -> Result<(Trace, String), Box<dyn std::error::Error>> {
@@ -106,7 +137,7 @@ fn generate(a: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn forecast(a: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
+fn forecast(a: &ParsedArgs, obs: &Obs) -> Result<(), Box<dyn std::error::Error>> {
     let (trace, _) = load_trace(a)?;
     let model_name = a.require("model")?.to_string();
     let model_name = model_name.as_str();
@@ -134,22 +165,29 @@ fn forecast(a: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let mut model = match model_name {
-        "tft" => CliModel::Tft(Tft::new(TftConfig {
-            context,
-            horizon,
-            quantiles: SCALING_LEVELS.to_vec(),
-            seed,
-            ..TftConfig::default()
-        })),
-        "deepar" => CliModel::DeepAr(DeepAr::new(DeepArConfig {
-            context,
-            train_window: context + 3 * horizon,
-            seed,
-            ..DeepArConfig::default()
-        })),
-        "mlp" => {
-            CliModel::Mlp(MlpProb::new(MlpProbConfig { context, horizon, seed, ..Default::default() }))
-        }
+        "tft" => CliModel::Tft(
+            Tft::new(TftConfig {
+                context,
+                horizon,
+                quantiles: SCALING_LEVELS.to_vec(),
+                seed,
+                ..TftConfig::default()
+            })
+            .with_obs(obs.clone()),
+        ),
+        "deepar" => CliModel::DeepAr(
+            DeepAr::new(DeepArConfig {
+                context,
+                train_window: context + 3 * horizon,
+                seed,
+                ..DeepArConfig::default()
+            })
+            .with_obs(obs.clone()),
+        ),
+        "mlp" => CliModel::Mlp(
+            MlpProb::new(MlpProbConfig { context, horizon, seed, ..Default::default() })
+                .with_obs(obs.clone()),
+        ),
         "arima" => CliModel::Arima(Arima::new(ArimaConfig::default())),
         "holt-winters" => CliModel::HoltWinters(HoltWinters::new(HoltWintersConfig {
             period: STEPS_PER_DAY,
@@ -159,7 +197,9 @@ fn forecast(a: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
         other => return Err(format!("unknown model {other:?}").into()),
     };
 
-    eprintln!("training {model_name} on {} samples...", train.len());
+    obs.info("cli", "train_start", |e| {
+        e.field("model", model_name).field("samples", train.len());
+    });
     model.as_forecaster_mut().fit(&train.values)?;
     let ctx = &test.values[test.len() - ctx_len..];
     let qf = model.as_forecaster().forecast_quantiles(ctx, horizon, &SCALING_LEVELS)?;
@@ -181,7 +221,9 @@ fn forecast(a: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
                 std::fs::write(wpath, &bytes)?;
                 println!("saved model weights to {wpath}");
             }
-            None => eprintln!("note: {model_name} does not support weight snapshots"),
+            None => obs.warn("cli", "no_weight_snapshot", |e| {
+                e.field("model", model_name);
+            }),
         }
     }
     Ok(())
@@ -233,7 +275,7 @@ impl CliModel {
     }
 }
 
-fn plan(a: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
+fn plan(a: &ParsedArgs, obs: &Obs) -> Result<(), Box<dyn std::error::Error>> {
     let path = a.require("forecast")?;
     let theta: f64 = a.require_parsed("theta")?;
     if theta <= 0.0 {
@@ -267,7 +309,8 @@ fn plan(a: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     let qf = rpas::forecast::QuantileForecast::new(levels, values);
-    let manager = RobustAutoScalingManager::new(theta, min_nodes, ScalingStrategy::Fixed { tau });
+    let manager = RobustAutoScalingManager::new(theta, min_nodes, ScalingStrategy::Fixed { tau })
+        .with_obs(obs.clone());
     let plan = manager.plan(&qf);
 
     let steps: Vec<f64> = (0..plan.len()).map(|t| t as f64).collect();
@@ -281,7 +324,7 @@ fn plan(a: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn simulate(a: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
+fn simulate(a: &ParsedArgs, obs: &Obs) -> Result<(), Box<dyn std::error::Error>> {
     let (trace, _) = load_trace(a)?;
     let theta: f64 = a.get_or("theta", 60.0)?;
     if theta <= 0.0 {
@@ -294,7 +337,7 @@ fn simulate(a: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let cfg = SimConfig { theta, ..Default::default() };
-    let sim = Simulation::new(&trace, cfg);
+    let sim = Simulation::new(&trace, cfg).with_obs(obs.clone());
 
     let report = if policy_name == "reactive-max" {
         let mut p = ReactiveMax::new(6);
@@ -313,7 +356,8 @@ fn simulate(a: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
         }
         let mut fc = SeasonalNaive::new(period);
         fc.fit(&trace.values[..split])?;
-        let manager = RobustAutoScalingManager::new(theta, 1, ScalingStrategy::Fixed { tau });
+        let manager = RobustAutoScalingManager::new(theta, 1, ScalingStrategy::Fixed { tau })
+            .with_obs(obs.clone());
         let mut p = QuantilePredictivePolicy::new(
             "robust",
             fc,
@@ -334,4 +378,277 @@ fn simulate(a: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     println!("scale events      : {}", report.scale_out_events + report.scale_in_events);
     println!("checkpoint reads  : {}", report.checkpoint_reads);
     Ok(())
+}
+
+/// Profile-sized defaults for `backtest` (full: the paper's 12h/12h
+/// windows over 14 days; quick: enough for a few replan windows in under
+/// a second). The root crate deliberately has no dependency on
+/// `rpas-bench`, so the `RPAS_PROFILE` convention is read directly.
+fn profile_defaults() -> (usize, usize, usize) {
+    match std::env::var("RPAS_PROFILE").ok().as_deref() {
+        Some("quick") => (6, 24, 24),    // (days, context, horizon)
+        _ => (14, 72, 72),
+    }
+}
+
+fn median(mut values: Vec<f64>) -> f64 {
+    assert!(!values.is_empty(), "median of empty series");
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    values[values.len() / 2]
+}
+
+/// Rolling-origin backtest over a trace with the Algorithm-1 adaptive
+/// manager, with the full decision audit flowing to `obs` (use
+/// `--trace-out` to capture it as JSONL for `trace-report`).
+fn backtest(a: &ParsedArgs, obs: &Obs) -> Result<(), Box<dyn std::error::Error>> {
+    let (days_d, context_d, horizon_d) = profile_defaults();
+    let trace = if a.get("trace").is_some() {
+        load_trace(a)?.0
+    } else {
+        let preset = a.get("preset").unwrap_or("alibaba");
+        let days: usize = a.get_or("days", days_d)?;
+        let seed: u64 = a.get_or("seed", 7)?;
+        let cluster = match preset {
+            "alibaba" => alibaba_like(seed, days),
+            "google" => google_like(seed, days),
+            other => return Err(format!("unknown preset {other:?}").into()),
+        };
+        cluster.cpu().clone()
+    };
+
+    let context: usize = a.get_or("context", context_d)?;
+    let horizon: usize = a.get_or("horizon", horizon_d)?;
+    if context == 0 || horizon == 0 {
+        return Err("--context and --horizon must be at least 1".into());
+    }
+    let theta: f64 = a.get_or("theta", 60.0)?;
+    if theta <= 0.0 {
+        return Err("--theta must be positive".into());
+    }
+    let min_nodes: u32 = a.get_or("min-nodes", 1)?;
+    let train_frac: f64 = a.get_or("train-frac", 0.7)?;
+    if !(0.0..=1.0).contains(&train_frac) {
+        return Err(format!("--train-frac must be in [0,1], got {train_frac}").into());
+    }
+    let tau_low: f64 = a.get_or("tau-low", 0.8)?;
+    let tau_high: f64 = a.get_or("tau-high", 0.95)?;
+    if !(0.0 < tau_low && tau_low <= tau_high && tau_high < 1.0) {
+        return Err("need 0 < --tau-low <= --tau-high < 1".into());
+    }
+    let model_name = a.get("model").unwrap_or("seasonal-naive");
+
+    // The seasonal period follows the context window so one window of
+    // history always carries a full season.
+    let mut model: Box<dyn Forecaster> = match model_name {
+        "seasonal-naive" => Box::new(SeasonalNaive::new(context)),
+        "holt-winters" => Box::new(HoltWinters::new(HoltWintersConfig {
+            period: context,
+            ..Default::default()
+        })),
+        other => return Err(format!("unknown backtest model {other:?}").into()),
+    };
+
+    let (train, test) = trace.train_test_split(train_frac);
+    if train.len() < 2 * context {
+        return Err("train split shorter than two seasonal periods".into());
+    }
+    if test.len() < context + horizon {
+        return Err("test split shorter than one context+horizon window".into());
+    }
+    let fit_timer = obs.span("backtest", "fit");
+    model.fit(&train.values)?;
+    fit_timer.finish(|e| {
+        e.field("model", model_name).field("samples", train.len());
+    });
+
+    // Default ρ: the median uncertainty of the first forecast window, so
+    // the conservative/aggressive split lands mid-scale for the trace at
+    // hand instead of needing a hand-tuned absolute threshold.
+    let rho: f64 = match a.get("rho") {
+        Some(raw) => raw.parse().map_err(|_| format!("bad --rho value {raw:?}"))?,
+        None => {
+            let first =
+                model.forecast_quantiles(&test.values[..context], horizon, &SCALING_LEVELS)?;
+            median(uncertainty_series(&first))
+        }
+    };
+
+    let manager = RobustAutoScalingManager::new(
+        theta,
+        min_nodes,
+        ScalingStrategy::Adaptive(AdaptiveConfig::new(tau_low, tau_high, rho)),
+    )
+    .with_obs(obs.clone());
+
+    let bt_timer = obs.span("backtest", "rolling");
+    let report =
+        backtest_quantile_obs(&*model, &test.values, context, horizon, &manager, &SCALING_LEVELS, obs);
+    bt_timer.finish(|e| {
+        e.field("windows", report.windows.len());
+    });
+
+    println!("model             : {model_name}");
+    println!("trace steps       : {} train / {} test", train.len(), test.len());
+    println!("strategy          : adaptive tau-low={tau_low} tau-high={tau_high} rho={rho:.3}");
+    println!("windows           : {} ({context}-step context, {horizon}-step horizon)", report.windows.len());
+    println!("under-prov rate   : {:.4}", report.overall.under_rate);
+    println!("over-prov rate    : {:.4}", report.overall.over_rate);
+    println!("avg nodes         : {:.2}", report.overall.avg_allocated);
+    println!("cost regret       : {} node-steps vs oracle", report.cost_regret_node_steps);
+    if let Some(w) = report.worst_window() {
+        println!("worst window      : start {} under-rate {:.4}", w.start, w.report.under_rate);
+    }
+    Ok(())
+}
+
+fn fmt_us(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.1}ms", us as f64 / 1e3)
+    } else {
+        format!("{:.2}s", us as f64 / 1e6)
+    }
+}
+
+/// Summarize a schema-v1 JSONL trace: event counts, per-span wall time,
+/// counters, histogram percentiles, and the Algorithm-1 decision audit.
+/// Every line is schema-validated; a malformed line fails the command.
+fn trace_report(a: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let path = a.require("trace")?;
+    let text = std::fs::read_to_string(path)?;
+    let mut lines: Vec<TraceLine> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        if raw.trim().is_empty() {
+            continue;
+        }
+        lines.push(validate_line(raw).map_err(|e| format!("{path}:{}: {e}", i + 1))?);
+    }
+    if lines.is_empty() {
+        return Err(format!("{path}: no events").into());
+    }
+
+    let mut by_level = std::collections::BTreeMap::<&'static str, u64>::new();
+    let mut by_event = std::collections::BTreeMap::<(String, String), u64>::new();
+    let mut span_wall = std::collections::BTreeMap::<String, (u64, u64)>::new();
+    let mut counters = std::collections::BTreeMap::<(String, String), u64>::new();
+    let mut hists = std::collections::BTreeMap::<(String, String), Histogram>::new();
+    for t in &lines {
+        *by_level.entry(t.level.as_str()).or_default() += 1;
+        *by_event.entry((t.span.clone(), t.event.clone())).or_default() += 1;
+        if let Some(w) = t.wall_us {
+            let e = span_wall.entry(t.span.clone()).or_default();
+            e.0 += 1;
+            e.1 += w;
+        }
+        match t.event.as_str() {
+            "counter" => {
+                if let (Some(metric), Some(delta)) = (t.str("metric"), t.num("delta")) {
+                    *counters.entry((t.span.clone(), metric.to_string())).or_default() +=
+                        delta as u64;
+                }
+            }
+            "histogram" => {
+                if let (Some(metric), Some(enc)) = (t.str("metric"), t.str("buckets")) {
+                    let h = Histogram::decode(enc)
+                        .map_err(|e| format!("{path}: bad histogram {metric:?}: {e}"))?;
+                    hists
+                        .entry((t.span.clone(), metric.to_string()))
+                        .and_modify(|acc| acc.merge(&h))
+                        .or_insert(h);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    println!("trace             : {path}");
+    println!("events            : {} (schema v{})", lines.len(), rpas::obs::SCHEMA_VERSION);
+    let level_line: Vec<String> = ["error", "warn", "info", "debug"]
+        .iter()
+        .map(|l| format!("{l} {}", by_level.get(l).copied().unwrap_or(0)))
+        .collect();
+    println!("by level          : {}", level_line.join(" | "));
+
+    println!("\nevents by span/event");
+    for ((span, event), n) in &by_event {
+        println!("  {:<32} {n:>8}", format!("{span}/{event}"));
+    }
+
+    if !span_wall.is_empty() {
+        println!("\nwall time by span (timed events only)");
+        for (span, (n, total)) in &span_wall {
+            println!("  {span:<32} {n:>8} × → {}", fmt_us(*total));
+        }
+    }
+
+    if !counters.is_empty() {
+        println!("\ncounters");
+        for ((span, metric), total) in &counters {
+            println!("  {:<32} {total:>8}", format!("{span}/{metric}"));
+        }
+    }
+
+    if !hists.is_empty() {
+        println!("\nhistograms");
+        for ((span, metric), h) in &hists {
+            println!(
+                "  {:<32} n={} p50={} p90={} p99={}",
+                format!("{span}/{metric}"),
+                h.count(),
+                h.percentile(0.5),
+                h.percentile(0.9),
+                h.percentile(0.99),
+            );
+        }
+    }
+
+    decision_audit_summary(&lines);
+    Ok(())
+}
+
+/// The Algorithm-1 section of `trace-report`: reconstruct the
+/// conservative↔aggressive regime sequence from `plan/decision` events
+/// and total the `plan/summary` roll-ups.
+fn decision_audit_summary(lines: &[TraceLine]) {
+    let mut decisions = 0u64;
+    let mut conservative = 0u64;
+    let mut aggressive = 0u64;
+    let mut switches = 0u64;
+    let mut prev: Option<(f64, String)> = None; // (step, regime) of the last decision
+    for t in lines.iter().filter(|t| t.span == "plan" && t.event == "decision") {
+        decisions += 1;
+        let step = t.num("step").unwrap_or(0.0);
+        let Some(regime) = t.str("regime") else { continue };
+        match regime {
+            "conservative" => conservative += 1,
+            _ => aggressive += 1,
+        }
+        if let Some((pstep, pregime)) = &prev {
+            // A step index that did not advance starts a fresh plan; only
+            // count switches within one planning pass.
+            if step > *pstep && pregime != regime {
+                switches += 1;
+            }
+        }
+        prev = Some((step, regime.to_string()));
+    }
+    if decisions == 0 {
+        println!("\ndecision audit    : no plan/decision events");
+        return;
+    }
+    let summaries = lines.iter().filter(|t| t.span == "plan" && t.event == "summary");
+    let (mut plans, mut node_steps, mut delta) = (0u64, 0u64, 0u64);
+    for t in summaries {
+        plans += 1;
+        node_steps += t.num("objective_node_steps").unwrap_or(0.0) as u64;
+        delta += t.num("plan_delta").unwrap_or(0.0) as u64;
+    }
+    println!("\ndecision audit (Algorithm 1)");
+    println!("  decisions         : {decisions}");
+    println!("  conservative      : {conservative} ({aggressive} aggressive)");
+    println!("  regime switches   : {switches}");
+    println!("  plans             : {plans}");
+    println!("  objective         : {node_steps} node-steps");
+    println!("  plan delta        : {delta} node-level changes");
 }

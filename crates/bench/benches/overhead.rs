@@ -23,13 +23,7 @@ fn main() {
     qb.fit(&ds.train).expect("qb5000 fit");
     let manager = RobustAutoScalingManager::new(60.0, 1, ScalingStrategy::Fixed { tau: 0.9 });
 
-    let obs = Observation {
-        step: ctx.len(),
-        history: &ctx,
-        current_nodes: 2,
-        theta: 60.0,
-        min_nodes: 1,
-    };
+    let obs = Observation::new(ctx.len(), &ctx, 2, 60.0, 1);
 
     let mut group = BenchGroup::new("table2_decision_cycle");
 

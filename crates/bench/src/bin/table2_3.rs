@@ -60,13 +60,7 @@ fn main() {
     );
 
     // --- Table II: end-to-end decision cycle.
-    let obs = Observation {
-        step: history.len(),
-        history: &history,
-        current_nodes: 2,
-        theta: THETA,
-        min_nodes: 1,
-    };
+    let obs = Observation::new(history.len(), &history, 2, THETA, 1);
     let mut rmax = ReactiveMax::new(6);
     let mut ravg = ReactiveAvg::paper_default();
 

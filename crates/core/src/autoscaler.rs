@@ -6,7 +6,7 @@ use crate::manager::RobustAutoScalingManager;
 use crate::plan::plan_point;
 use rpas_forecast::{ErrorFeedback, Forecaster, PointForecaster};
 use rpas_metrics::provisioning::required_nodes;
-use rpas_simdb::{Observation, ScalingPolicy};
+use rpas_simdb::{Observation, PolicyHealth, ScalingPolicy};
 
 /// Rolling replan parameters: the online policies replan on exactly the
 /// grid of the offline rolling-origin protocol, so this is the same
@@ -29,6 +29,7 @@ pub struct QuantilePredictivePolicy<F: Forecaster> {
     schedule: ReplanSchedule,
     plan: Vec<u32>,
     plan_start: usize,
+    degraded: bool,
 }
 
 impl<F: Forecaster> QuantilePredictivePolicy<F> {
@@ -40,7 +41,15 @@ impl<F: Forecaster> QuantilePredictivePolicy<F> {
         schedule: ReplanSchedule,
     ) -> Self {
         assert!(schedule.context > 0 && schedule.horizon > 0, "degenerate schedule");
-        Self { name, forecaster, manager, schedule, plan: Vec::new(), plan_start: 0 }
+        Self {
+            name,
+            forecaster,
+            manager,
+            schedule,
+            plan: Vec::new(),
+            plan_start: 0,
+            degraded: false,
+        }
     }
 
     /// Access the wrapped forecaster.
@@ -76,11 +85,29 @@ impl<F: Forecaster> ScalingPolicy for QuantilePredictivePolicy<F> {
             &rpas_forecast::SCALING_LEVELS,
         ) {
             Ok(qf) => {
+                self.degraded = false;
                 self.plan = self.manager.plan(&qf).as_slice().to_vec();
                 self.plan_start = obs.step;
                 self.plan[0].max(obs.min_nodes)
             }
-            Err(_) => bootstrap_target(obs),
+            Err(_) => {
+                // The forecaster failed at a replan boundary: substitute
+                // the reactive bootstrap and flag the degradation so a
+                // resilience wrapper can demote this policy.
+                self.degraded = true;
+                bootstrap_target(obs)
+            }
+        }
+    }
+
+    /// Degraded while the most recent replan attempt fell back to the
+    /// reactive bootstrap because the forecaster errored (or its output
+    /// was rejected by a health gate).
+    fn health(&self) -> PolicyHealth {
+        if self.degraded {
+            PolicyHealth::Degraded
+        } else {
+            PolicyHealth::Healthy
         }
     }
 }
@@ -233,13 +260,7 @@ mod tests {
             ReplanSchedule { context: 16, horizon: 8 },
         );
         let history = [100.0, 200.0]; // shorter than context
-        let obs = Observation {
-            step: 2,
-            history: &history,
-            current_nodes: 1,
-            theta: 60.0,
-            min_nodes: 1,
-        };
+        let obs = Observation::new(2, &history, 1, 60.0, 1);
         assert_eq!(policy.decide(&obs), 4); // ceil(200/60)
     }
 }

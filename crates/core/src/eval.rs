@@ -100,13 +100,13 @@ pub fn evaluate_reactive<P: ScalingPolicy + ?Sized>(
     assert!(!test_series.is_empty(), "empty test series");
     let mut allocations = Vec::with_capacity(test_series.len());
     for t in 0..test_series.len() {
-        let obs = Observation {
-            step: t,
-            history: &test_series[..t],
-            current_nodes: allocations.last().copied().unwrap_or(min_nodes),
+        let obs = Observation::new(
+            t,
+            &test_series[..t],
+            allocations.last().copied().unwrap_or(min_nodes),
             theta,
             min_nodes,
-        };
+        );
         allocations.push(policy.decide(&obs).max(min_nodes));
     }
     provisioning_rates(&allocations, test_series, theta, min_nodes)

@@ -14,6 +14,9 @@
 //! * [`reactive`] — Reactive-Max and Reactive-Avg baselines (Autopilot-like
 //!   moving-window scalers).
 //! * [`thrash`] — §V-A scale smoothing: per-step delta limits + cooldown.
+//! * [`resilient`] — graceful-degradation pipeline: forecast health gates,
+//!   a predictive → seasonal-naive → Reactive-Max fallback chain, bounded
+//!   retry for failed scale actions and hard guardrails.
 //! * [`manager`] — the [`manager::RobustAutoScalingManager`] façade tying
 //!   forecast → plan together.
 //! * [`autoscaler`] — end-to-end [`rpas_simdb::ScalingPolicy`]
@@ -34,6 +37,7 @@ pub mod manager;
 pub mod multi;
 pub mod plan;
 pub mod reactive;
+pub mod resilient;
 pub mod robust;
 pub mod rolling;
 pub mod thrash;
@@ -53,10 +57,13 @@ pub use manager::{PlanningBackend, RobustAutoScalingManager, ScalingStrategy};
 pub use multi::{plan_multi_resource, MultiResourcePlan, ResourceDimension};
 pub use plan::{plan_point, plan_point_lp, CapacityPlan};
 pub use reactive::{ReactiveAvg, ReactiveMax};
+pub use resilient::{
+    forecast_health, ForecastHealthGate, ResilienceConfig, ResilientManager, Tier,
+};
 pub use robust::{plan_robust, plan_robust_lp, plan_robust_obs};
 pub use rolling::{
     plan_windows, plan_windows_obs, quantile_windows, quantile_windows_obs, PlannedWindow,
     RollingSpec,
 };
-pub use thrash::{smooth_plan, ThrashConfig, ThrashLimited};
+pub use thrash::{clamp_step, smooth_plan, ThrashConfig, ThrashLimited};
 pub use uncertainty::{uncertainty_at, uncertainty_series};

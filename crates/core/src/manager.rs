@@ -173,11 +173,24 @@ impl RobustAutoScalingManager {
     /// The per-step workload bound the strategy selects from the forecast
     /// (the `ŵ_t^{τ_t}` series fed into the optimization). Emits one
     /// `plan/decision` debug event per step when observability is on.
+    ///
+    /// Non-finite forecast values (a NaN or ±∞ that slipped past the
+    /// forecaster) are clamped to `0.0` with a `plan/non_finite_workload`
+    /// warn, so a poisoned forecast can degrade a plan but never poison
+    /// it — the plan itself stays finite and the min-nodes floor applies.
     pub fn effective_workload(&self, forecast: &QuantileForecast) -> Vec<f64> {
         (0..forecast.horizon())
             .map(|i| {
                 let choice = self.choose(forecast, i);
-                let w = forecast.at(i, choice.tau).max(0.0);
+                let raw = forecast.at(i, choice.tau);
+                let w = if raw.is_finite() {
+                    raw.max(0.0)
+                } else {
+                    self.obs.warn("plan", "non_finite_workload", |e| {
+                        e.field("step", i).field("tau", choice.tau).field("raw", raw);
+                    });
+                    0.0
+                };
                 self.obs.debug("plan", "decision", |e| {
                     e.field("step", i)
                         .field("strategy", self.strategy.audit_name())
@@ -342,5 +355,21 @@ mod tests {
     #[should_panic(expected = "tau must be in (0,1)")]
     fn rejects_bad_fixed_tau() {
         RobustAutoScalingManager::new(60.0, 1, ScalingStrategy::Fixed { tau: 0.0 });
+    }
+
+    #[test]
+    fn non_finite_forecast_values_clamp_to_zero_with_warn() {
+        let mem = MemorySink::new();
+        let m = RobustAutoScalingManager::new(60.0, 2, ScalingStrategy::Fixed { tau: 0.9 })
+            .with_obs(Obs::with_sink(Box::new(mem.clone())));
+        let f = QuantileForecast::new(
+            vec![0.9],
+            Matrix::from_rows(&[vec![f64::INFINITY], vec![120.0]]),
+        );
+        let plan = m.plan(&f);
+        // The poisoned step falls to the min-nodes floor; the healthy step
+        // plans normally. The plan itself never carries garbage.
+        assert_eq!(plan.as_slice(), &[2, 2]);
+        assert!(mem.events().iter().any(|e| e.name == "non_finite_workload"));
     }
 }

@@ -22,6 +22,11 @@ impl ReactiveMax {
         assert!(window > 0, "window must be positive");
         Self { window }
     }
+
+    /// Window length in intervals.
+    pub fn window(&self) -> usize {
+        self.window
+    }
 }
 
 impl ScalingPolicy for ReactiveMax {
@@ -103,7 +108,7 @@ mod tests {
     use super::*;
 
     fn obs<'a>(history: &'a [f64]) -> Observation<'a> {
-        Observation { step: history.len(), history, current_nodes: 1, theta: 60.0, min_nodes: 1 }
+        Observation::new(history.len(), history, 1, 60.0, 1)
     }
 
     #[test]

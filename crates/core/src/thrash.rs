@@ -21,6 +21,17 @@ impl Default for ThrashConfig {
     }
 }
 
+/// Move from `prev` toward `want`, by at most `max_delta` nodes. The shared
+/// step-clamp primitive behind [`smooth_plan`], [`ThrashLimited`] and the
+/// resilience guardrails ([`crate::resilient::ResilientManager`]).
+pub fn clamp_step(prev: u32, want: u32, max_delta: u32) -> u32 {
+    if want > prev {
+        prev + (want - prev).min(max_delta)
+    } else {
+        prev - (prev - want).min(max_delta)
+    }
+}
+
 /// Smooth a precomputed plan: clamp per-step deltas starting from
 /// `initial` nodes. Scale-*outs* are never reduced below what feasibility
 /// requires when `allow_burst_up` is set (under-provisioning is the risk
@@ -36,14 +47,10 @@ pub fn smooth_plan(
     let mut prev = initial;
     for t in 0..plan.len() {
         let want = plan.at(t);
-        let next = if want > prev {
-            if allow_burst_up {
-                want
-            } else {
-                prev + (want - prev).min(cfg.max_step_delta)
-            }
+        let next = if want > prev && allow_burst_up {
+            want
         } else {
-            prev - (prev - want).min(cfg.max_step_delta)
+            clamp_step(prev, want, cfg.max_step_delta)
         };
         out.push(next);
         prev = next;
@@ -83,11 +90,7 @@ impl<P: ScalingPolicy> ScalingPolicy for ThrashLimited<P> {
         let want = self.inner.decide(obs);
         let prev = self.last_target.unwrap_or(obs.current_nodes);
 
-        let mut next = if want > prev {
-            prev + (want - prev).min(self.cfg.max_step_delta)
-        } else {
-            prev - (prev - want).min(self.cfg.max_step_delta)
-        };
+        let mut next = clamp_step(prev, want, self.cfg.max_step_delta);
 
         // Direction cooldown: refuse to reverse direction too quickly.
         let dir: i8 = match next.cmp(&prev) {
@@ -155,13 +158,7 @@ mod tests {
             Swing,
             ThrashConfig { max_step_delta: 2, direction_cooldown: 0 },
         );
-        let mk = |step, current| Observation {
-            step,
-            history: &[],
-            current_nodes: current,
-            theta: 60.0,
-            min_nodes: 1,
-        };
+        let mk = |step, current| Observation::new(step, &[], current, 60.0, 1);
         let a = p.decide(&mk(0, 1)); // wants 10, clamp to 3
         assert_eq!(a, 3);
         let b = p.decide(&mk(1, a)); // wants 1, clamp to 1 step of −2
@@ -187,13 +184,7 @@ mod tests {
             UpThenDown,
             ThrashConfig { max_step_delta: 10, direction_cooldown: 2 },
         );
-        let mk = |step, current| Observation {
-            step,
-            history: &[],
-            current_nodes: current,
-            theta: 60.0,
-            min_nodes: 1,
-        };
+        let mk = |step, current| Observation::new(step, &[], current, 60.0, 1);
         let a = p.decide(&mk(0, 1));
         assert_eq!(a, 5); // scale out
         let b = p.decide(&mk(1, a));
@@ -205,9 +196,68 @@ mod tests {
     }
 
     #[test]
+    fn smooth_plan_of_empty_plan_is_empty() {
+        let plan = CapacityPlan::new(vec![]);
+        let s = smooth_plan(&plan, 5, ThrashConfig::default(), false);
+        assert!(s.as_slice().is_empty());
+    }
+
+    #[test]
+    fn smooth_plan_with_delta_wider_than_any_move_is_identity() {
+        let plan = CapacityPlan::new(vec![9, 1, 7, 2]);
+        let cfg = ThrashConfig { max_step_delta: u32::MAX, direction_cooldown: 0 };
+        let s = smooth_plan(&plan, 3, cfg, false);
+        assert_eq!(s.as_slice(), plan.as_slice());
+    }
+
+    #[test]
+    fn smooth_plan_with_zero_delta_freezes_at_initial() {
+        let plan = CapacityPlan::new(vec![9, 1, 7]);
+        let cfg = ThrashConfig { max_step_delta: 0, direction_cooldown: 0 };
+        let s = smooth_plan(&plan, 3, cfg, false);
+        assert_eq!(s.as_slice(), &[3, 3, 3]);
+        // Burst-up still punches through a zero delta: feasibility first.
+        let up = smooth_plan(&plan, 3, cfg, true);
+        assert_eq!(up.as_slice(), &[9, 9, 9]);
+    }
+
+    #[test]
+    fn zero_cooldown_allows_immediate_reversal() {
+        struct UpThenDown;
+        impl ScalingPolicy for UpThenDown {
+            fn name(&self) -> &'static str {
+                "upx"
+            }
+            fn decide(&mut self, obs: &Observation<'_>) -> u32 {
+                if obs.step == 0 {
+                    5
+                } else {
+                    1
+                }
+            }
+        }
+        let mut p = ThrashLimited::new(
+            UpThenDown,
+            ThrashConfig { max_step_delta: 10, direction_cooldown: 0 },
+        );
+        let mk = |step, current| Observation::new(step, &[], current, 60.0, 1);
+        assert_eq!(p.decide(&mk(0, 1)), 5);
+        assert_eq!(p.decide(&mk(1, 5)), 1); // no cooldown: reverse at once
+    }
+
+    #[test]
+    fn clamp_step_moves_toward_target_bounded() {
+        assert_eq!(clamp_step(3, 10, 2), 5);
+        assert_eq!(clamp_step(10, 3, 2), 8);
+        assert_eq!(clamp_step(4, 4, 2), 4);
+        assert_eq!(clamp_step(0, 100, u32::MAX), 100);
+        assert_eq!(clamp_step(7, 1, 0), 7);
+    }
+
+    #[test]
     fn steady_inner_policy_passes_through() {
         let mut p = ThrashLimited::new(FixedPolicy(4), ThrashConfig::default());
-        let o = Observation { step: 0, history: &[], current_nodes: 4, theta: 60.0, min_nodes: 1 };
+        let o = Observation::new(0, &[], 4, 60.0, 1);
         assert_eq!(p.decide(&o), 4);
         assert_eq!(p.decide(&o), 4);
     }

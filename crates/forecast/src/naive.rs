@@ -3,6 +3,7 @@
 //! learned model that cannot beat them is broken.
 
 use crate::types::{validate_levels, ForecastError, Forecaster, PointForecaster, QuantileForecast};
+use rpas_obs::Obs;
 use rpas_tsmath::special::norm_quantile;
 use rpas_tsmath::{stats, Matrix};
 
@@ -71,10 +72,19 @@ impl PointForecaster for LastValue {
 
 /// Repeats the value one season ago (`period` steps); quantiles from the
 /// seasonal-difference residual spread.
+///
+/// **Degraded-input behavior** (this model anchors the resilience
+/// fallback chain in `rpas-core`, so it must not fail on thin data):
+/// fitting on fewer than two full seasons estimates the spread from
+/// one-step differences instead of seasonal residuals, and forecasting
+/// from a context shorter than one period returns a *flat* forecast from
+/// the last observed value. Both paths emit a `forecast/*` warn through
+/// the attached [`Obs`] handle instead of erroring.
 #[derive(Debug, Clone)]
 pub struct SeasonalNaive {
     period: usize,
     sigma: Option<f64>,
+    obs: Obs,
 }
 
 impl SeasonalNaive {
@@ -85,7 +95,14 @@ impl SeasonalNaive {
     /// Panics if `period == 0`.
     pub fn new(period: usize) -> Self {
         assert!(period > 0, "seasonal period must be positive");
-        Self { period, sigma: None }
+        Self { period, sigma: None, obs: Obs::noop() }
+    }
+
+    /// Builder: attach an observability handle; the degraded fit and
+    /// flat-forecast paths then emit `forecast/*` warn events.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Season length in steps.
@@ -100,15 +117,24 @@ impl Forecaster for SeasonalNaive {
     }
 
     fn fit(&mut self, series: &[f64]) -> Result<(), ForecastError> {
-        if series.len() < 2 * self.period {
-            return Err(ForecastError::SeriesTooShort {
-                needed: 2 * self.period,
-                got: series.len(),
-            });
+        if series.len() < 2 {
+            return Err(ForecastError::SeriesTooShort { needed: 2, got: series.len() });
         }
-        let resid: Vec<f64> =
-            (self.period..series.len()).map(|t| series[t] - series[t - self.period]).collect();
-        self.sigma = Some(stats::std_dev(&resid).max(1e-9));
+        let resid: Vec<f64> = if series.len() < 2 * self.period {
+            // Not enough history for seasonal residuals: estimate the
+            // spread from one-step differences so the model still fits.
+            self.obs.warn("forecast", "short_history_sigma", |e| {
+                e.field("model", "seasonal-naive")
+                    .field("period", self.period as u64)
+                    .field("got", series.len() as u64)
+                    .field("needed", (2 * self.period) as u64);
+            });
+            stats::difference(series, 1)
+        } else {
+            (self.period..series.len()).map(|t| series[t] - series[t - self.period]).collect()
+        };
+        let sigma = if resid.len() < 2 { 0.0 } else { stats::std_dev(&resid) };
+        self.sigma = Some(if sigma.is_finite() { sigma.max(1e-9) } else { 1e-9 });
         Ok(())
     }
 
@@ -121,7 +147,25 @@ impl Forecaster for SeasonalNaive {
         validate_levels(levels)?;
         let sigma = self.sigma.ok_or(ForecastError::NotFitted)?;
         if context.len() < self.period {
-            return Err(ForecastError::SeriesTooShort { needed: self.period, got: context.len() });
+            // Degraded context: flat forecast from the last observation,
+            // keeping the fitted quantile spread. Needed by the fallback
+            // chain, where the visible history can shrink below a period
+            // under metric dropouts.
+            let last =
+                *context.last().ok_or(ForecastError::SeriesTooShort { needed: 1, got: 0 })?;
+            self.obs.warn("forecast", "flat_fallback", |e| {
+                e.field("model", "seasonal-naive")
+                    .field("period", self.period as u64)
+                    .field("context", context.len() as u64)
+                    .field("last", last);
+            });
+            let mut values = Matrix::zeros(horizon, levels.len());
+            for h in 0..horizon {
+                for (i, &l) in levels.iter().enumerate() {
+                    values[(h, i)] = last + sigma * norm_quantile(l);
+                }
+            }
+            return Ok(QuantileForecast::new(levels.to_vec(), values));
         }
         let season = &context[context.len() - self.period..];
         let mut values = Matrix::zeros(horizon, levels.len());
@@ -184,20 +228,58 @@ mod tests {
     }
 
     #[test]
-    fn seasonal_naive_requires_full_period_context() {
-        let mut m = SeasonalNaive::new(4);
+    fn seasonal_naive_short_context_yields_flat_forecast() {
+        // A context shorter than one period no longer errors: the model
+        // degrades to a flat forecast from the last value (the resilience
+        // fallback chain depends on this).
+        let mem = rpas_obs::MemorySink::new();
+        let mut m =
+            SeasonalNaive::new(4).with_obs(Obs::with_sink(Box::new(mem.clone())));
         Forecaster::fit(&mut m, &[1.0; 8]).unwrap();
+        let f = m.forecast_quantiles(&[1.0, 2.0], 3, &[0.5]).unwrap();
+        assert_eq!(f.median(), vec![2.0, 2.0, 2.0]);
+        let warn = mem
+            .events()
+            .into_iter()
+            .find(|e| e.name == "flat_fallback")
+            .expect("flat-fallback warn event");
+        assert_eq!(warn.level, rpas_obs::Level::Warn);
+        // A fully empty context still has nothing to anchor on.
         assert!(matches!(
-            m.forecast_quantiles(&[1.0, 2.0], 1, &[0.5]).unwrap_err(),
-            ForecastError::SeriesTooShort { .. }
+            m.forecast_quantiles(&[], 1, &[0.5]).unwrap_err(),
+            ForecastError::SeriesTooShort { needed: 1, got: 0 }
         ));
     }
 
     #[test]
-    fn seasonal_naive_fit_needs_two_seasons() {
-        let mut m = SeasonalNaive::new(10);
-        assert!(Forecaster::fit(&mut m, &[1.0; 15]).is_err());
-        assert!(Forecaster::fit(&mut m, &[1.0; 20]).is_ok());
+    fn seasonal_naive_fit_degrades_below_two_seasons() {
+        // Fewer than two full seasons: the fit succeeds on a one-step
+        // difference spread (with a warn) instead of erroring.
+        let mem = rpas_obs::MemorySink::new();
+        let mut m =
+            SeasonalNaive::new(10).with_obs(Obs::with_sink(Box::new(mem.clone())));
+        assert!(Forecaster::fit(&mut m, &[1.0; 15]).is_ok());
+        assert!(mem.events().iter().any(|e| e.name == "short_history_sigma"));
+        // Two samples is the true floor; one is not fittable.
+        assert!(Forecaster::fit(&mut m, &[1.0]).is_err());
+        assert!(Forecaster::fit(&mut m, &[1.0, 2.0]).is_ok());
+        // Full history never takes the degraded path.
+        let mem2 = rpas_obs::MemorySink::new();
+        let mut full =
+            SeasonalNaive::new(10).with_obs(Obs::with_sink(Box::new(mem2.clone())));
+        assert!(Forecaster::fit(&mut full, &[1.0; 20]).is_ok());
+        assert!(mem2.events().is_empty());
+    }
+
+    #[test]
+    fn seasonal_naive_flat_forecast_quantiles_stay_ordered() {
+        let mut m = SeasonalNaive::new(6);
+        Forecaster::fit(&mut m, &[5.0, 9.0, 4.0, 8.0, 5.0, 9.0, 4.0, 8.0]).unwrap();
+        let f = m.forecast_quantiles(&[7.0], 4, &[0.1, 0.5, 0.9]).unwrap();
+        assert!(f.is_monotone());
+        assert!((f.at(0, 0.5) - 7.0).abs() < 1e-9);
+        assert!(f.at(0, 0.9) > f.at(0, 0.1));
+        assert!(f.values().row(0).iter().all(|v| v.is_finite()));
     }
 
     #[test]

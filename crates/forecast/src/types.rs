@@ -23,6 +23,10 @@ pub enum ForecastError {
         /// Requested horizon.
         requested: usize,
     },
+    /// A produced forecast failed a health check (non-finite values,
+    /// implausible magnitude); raised by health gates wrapping a
+    /// forecaster, never by the base models themselves.
+    Unhealthy(String),
 }
 
 impl std::fmt::Display for ForecastError {
@@ -36,6 +40,7 @@ impl std::fmt::Display for ForecastError {
             ForecastError::HorizonTooLong { max, requested } => {
                 write!(f, "horizon {requested} exceeds fitted maximum {max}")
             }
+            ForecastError::Unhealthy(msg) => write!(f, "unhealthy forecast: {msg}"),
         }
     }
 }
@@ -395,5 +400,7 @@ mod tests {
         let e = ForecastError::SeriesTooShort { needed: 10, got: 3 };
         assert!(e.to_string().contains("10"));
         assert!(ForecastError::NotFitted.to_string().contains("not been fitted"));
+        let e = ForecastError::Unhealthy("non-finite values".into());
+        assert!(e.to_string().contains("unhealthy"));
     }
 }

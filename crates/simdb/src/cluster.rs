@@ -68,12 +68,20 @@ impl Cluster {
     /// cancel), then active ones; removal is immediate — in a disaggregated
     /// architecture a compute node holds no exclusive state.
     pub fn scale_to(&mut self, target: u32, step: usize) {
+        self.scale_to_delayed(target, step, 0.0);
+    }
+
+    /// [`Cluster::scale_to`] with `extra_warmup_secs` of provisioning
+    /// delay added to every node launched by this call — the mechanism
+    /// behind the fault injector's delayed-provisioning class. Scale-in
+    /// and no-op paths ignore the delay.
+    pub fn scale_to_delayed(&mut self, target: u32, step: usize, extra_warmup_secs: f64) {
         let current = self.size();
         if target > current {
             self.scale_out_events += 1;
             for _ in 0..(target - current) {
                 let gb = self.storage.load_checkpoint();
-                let w = self.warmup.warmup_secs(gb);
+                let w = self.warmup.warmup_secs(gb) + extra_warmup_secs.max(0.0);
                 let id = NodeId(self.next_id);
                 self.next_id += 1;
                 self.nodes.push(ComputeNode::warming(id, w, step));
@@ -104,6 +112,28 @@ impl Cluster {
                 to_remove -= 1;
             }
         }
+    }
+
+    /// Crash up to `want` nodes at step `step`: the most recently launched
+    /// nodes die first (they are the least warmed-in), but the pool never
+    /// drops below one node — a cluster with every node gone is a total
+    /// outage, outside this simulator's scope. Returns how many nodes
+    /// actually crashed. Crashes are not scale-in events: they read no
+    /// checkpoints and count separately.
+    pub fn crash(&mut self, want: u32, _step: usize) -> u32 {
+        let mut crashed = 0;
+        while crashed < want && self.nodes.len() > 1 {
+            let idx = self
+                .nodes
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, n)| n.launched_at_step)
+                .map(|(i, _)| i)
+                .expect("crashing from non-empty pool");
+            self.nodes.remove(idx);
+            crashed += 1;
+        }
+        crashed
     }
 
     /// Advance one interval of `dt_secs`; returns the pool's effective
@@ -189,5 +219,36 @@ mod tests {
         let mut c = cluster(2);
         c.scale_to(2, 0);
         assert_eq!(c.scale_out_events() + c.scale_in_events(), 0);
+    }
+
+    #[test]
+    fn delayed_scale_out_extends_warmup() {
+        let mut fast = cluster(1);
+        fast.scale_to(2, 0);
+        let mut slow = cluster(1);
+        slow.scale_to_delayed(2, 0, 600.0);
+        assert!((slow.pending_warmup_secs() - fast.pending_warmup_secs() - 600.0).abs() < 1e-9);
+        // Zero delay is identical to the plain path.
+        let mut zero = cluster(1);
+        zero.scale_to_delayed(2, 0, 0.0);
+        assert_eq!(zero.pending_warmup_secs(), fast.pending_warmup_secs());
+    }
+
+    #[test]
+    fn crash_removes_newest_but_never_empties_the_pool() {
+        let mut c = cluster(1);
+        c.scale_to(3, 5);
+        c.tick(600.0); // everyone active
+        assert_eq!(c.crash(1, 6), 1);
+        assert_eq!(c.size(), 2);
+        // Survivors are the oldest nodes.
+        assert!(c.nodes().iter().all(|n| n.launched_at_step <= 5));
+        // Asking for more than available leaves the last node standing.
+        assert_eq!(c.crash(10, 7), 1);
+        assert_eq!(c.size(), 1);
+        assert_eq!(c.crash(1, 8), 0);
+        assert_eq!(c.size(), 1);
+        // Crashes are not scale events and read no checkpoints.
+        assert_eq!(c.scale_in_events(), 0);
     }
 }

@@ -13,11 +13,15 @@
 //! * per-step utilization accounting against a scaling threshold `θ`,
 //! * a pluggable [`ScalingPolicy`] (reactive and predictive policies live
 //!   in `rpas-core`),
-//! * under-/over-provisioning bookkeeping via `rpas-metrics`.
+//! * under-/over-provisioning bookkeeping via `rpas-metrics`,
+//! * deterministic seed-driven fault injection ([`FaultPlan`]) — scale
+//!   failures, delayed provisioning, node crashes, metric dropouts, and
+//!   workload anomaly bursts (DESIGN.md §8).
 
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod faults;
 pub mod node;
 pub mod policy;
 pub mod qos;
@@ -27,8 +31,11 @@ pub mod storage;
 pub mod warmup;
 
 pub use cluster::Cluster;
+pub use faults::{recovery_stats, AnomalyKind, FaultConfig, FaultCounts, FaultPlan, RecoveryStats};
 pub use node::{ComputeNode, NodeId, NodeState};
-pub use policy::{FixedPolicy, Observation, OraclePolicy, ScalingPolicy};
+pub use policy::{
+    FixedPolicy, Observation, OraclePolicy, PolicyHealth, ScaleOutcome, ScalingPolicy,
+};
 pub use qos::{slo_report, LatencyModel, SloReport};
 pub use report::{SimulationReport, StepRecord};
 pub use simulator::{SimConfig, Simulation};

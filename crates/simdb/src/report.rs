@@ -1,5 +1,6 @@
 //! Simulation outputs: per-step records and run-level summaries.
 
+use crate::faults::{FaultCounts, RecoveryStats};
 use rpas_metrics::ProvisioningReport;
 
 /// One simulated interval.
@@ -11,6 +12,10 @@ pub struct StepRecord {
     pub workload: f64,
     /// Node count the policy requested.
     pub target_nodes: u32,
+    /// Nodes actually in the pool over the interval. Equals
+    /// `target_nodes` on the happy path; diverges under fault injection
+    /// (rejected scale actions, crashes).
+    pub pool_nodes: u32,
     /// Effective serving capacity (node-units; warm-up discounts count).
     pub effective_capacity: f64,
     /// Average per-node workload (`workload / effective_capacity`).
@@ -37,12 +42,19 @@ pub struct SimulationReport {
     pub scale_in_events: usize,
     /// Checkpoint reads served by shared storage (== nodes launched).
     pub checkpoint_reads: u64,
+    /// Applied-fault tallies (all zero for fault-free runs).
+    pub faults: FaultCounts,
+    /// Recovery-time stats for fault-attributable violation episodes
+    /// (`None` for fault-free runs).
+    pub recovery: Option<RecoveryStats>,
 }
 
 impl SimulationReport {
-    /// Allocation series (one entry per step).
+    /// Allocation series (one entry per step): the nodes actually paid
+    /// for each interval. Identical to the requested targets on the happy
+    /// path; under faults it reflects rejections and crashes.
     pub fn allocations(&self) -> Vec<u32> {
-        self.steps.iter().map(|s| s.target_nodes).collect()
+        self.steps.iter().map(|s| s.pool_nodes).collect()
     }
 
     /// Utilization series.
@@ -52,7 +64,7 @@ impl SimulationReport {
 
     /// Total node-intervals paid for.
     pub fn total_node_steps(&self) -> u64 {
-        self.steps.iter().map(|s| s.target_nodes as u64).sum()
+        self.steps.iter().map(|s| s.pool_nodes as u64).sum()
     }
 
     /// Mean utilization over the run, guarded against silent NaN
@@ -91,6 +103,8 @@ mod tests {
             scale_out_events: 0,
             scale_in_events: 0,
             checkpoint_reads: 0,
+            faults: FaultCounts::default(),
+            recovery: None,
         }
     }
 
@@ -99,6 +113,7 @@ mod tests {
             step: 0,
             workload: 0.0,
             target_nodes: 1,
+            pool_nodes: 1,
             effective_capacity: 1.0,
             utilization,
             violation: false,

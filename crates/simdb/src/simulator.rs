@@ -2,7 +2,8 @@
 //! together.
 
 use crate::cluster::Cluster;
-use crate::policy::{Observation, ScalingPolicy};
+use crate::faults::{recovery_stats, FaultCounts, FaultPlan};
+use crate::policy::{Observation, ScaleOutcome, ScalingPolicy};
 use crate::report::{SimulationReport, StepRecord};
 use crate::storage::SharedStorage;
 use crate::warmup::WarmupModel;
@@ -43,6 +44,7 @@ pub struct Simulation<'a> {
     cfg: SimConfig,
     trace: &'a Trace,
     obs: Obs,
+    faults: Option<FaultPlan>,
 }
 
 impl<'a> Simulation<'a> {
@@ -55,7 +57,7 @@ impl<'a> Simulation<'a> {
         assert!(cfg.theta > 0.0, "theta must be positive");
         assert!(cfg.min_nodes <= cfg.max_nodes, "min_nodes must not exceed max_nodes");
         assert!(cfg.min_nodes >= 1, "a serving cluster needs at least one node");
-        Self { cfg, trace, obs: Obs::noop() }
+        Self { cfg, trace, obs: Obs::noop(), faults: None }
     }
 
     /// Builder: attach an observability handle. [`Simulation::run`] then
@@ -68,36 +70,125 @@ impl<'a> Simulation<'a> {
         self
     }
 
+    /// Builder: inject faults from a precomputed [`FaultPlan`]. The run
+    /// then layers anomaly multipliers on the trace, rejects or delays
+    /// scale actions, crashes nodes, and withholds metric updates per the
+    /// plan, emitting one `fault/*` info event per applied fault.
+    ///
+    /// # Panics
+    /// Panics if the plan was built for a different number of steps.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        assert_eq!(
+            plan.len(),
+            self.trace.len(),
+            "fault plan length must match the trace"
+        );
+        self.faults = Some(plan);
+        self
+    }
+
     /// Run the policy over the whole trace.
     ///
     /// Per step: the policy observes realised history, picks a target, the
     /// cluster scales (scale-outs start warm-up), time advances one
     /// interval, and the realised workload is accounted against the
     /// effective capacity.
+    ///
+    /// Under a [`FaultPlan`] (see [`Simulation::with_faults`]) the loop
+    /// additionally consults the plan each step: workload anomalies change
+    /// the realised series, dropouts freeze the history the policy sees
+    /// (`metrics_fresh: false`), scale actions can be rejected or delayed
+    /// (surfaced as [`ScaleOutcome`] on the next observation), and node
+    /// crashes shrink the pool before capacity accounting.
     pub fn run<P: ScalingPolicy + ?Sized>(&self, policy: &mut P) -> SimulationReport {
         let storage = Arc::new(SharedStorage::new(self.cfg.checkpoint_gb));
         let mut cluster = Cluster::new(self.cfg.min_nodes, self.cfg.warmup, storage);
         let dt = self.trace.interval_secs as f64;
-        let w = self.trace.as_slice();
+        let base = self.trace.as_slice();
+        let fp = self.faults.as_ref();
+        // Realised workload: anomaly bursts layered on the base trace.
+        let w: Vec<f64> = match fp {
+            Some(p) => base.iter().enumerate().map(|(t, &x)| x * p.anomaly_mult_at(t)).collect(),
+            None => base.to_vec(),
+        };
 
+        let mut counts = FaultCounts::default();
+        let mut visible = 0usize; // prefix of `w` the metric pipeline has delivered
+        let mut last_scale = ScaleOutcome::NoChange;
         let mut steps = Vec::with_capacity(w.len());
         for (t, &workload) in w.iter().enumerate() {
+            let fresh = !fp.is_some_and(|p| p.dropout_at(t));
+            if fresh {
+                visible = t;
+            } else {
+                counts.metric_dropout += 1;
+                self.obs.info("fault", "metric_dropout", |e| {
+                    e.field("step", t).field("stale_after", visible);
+                });
+            }
+            if let Some(p) = fp {
+                let m = p.anomaly_mult_at(t);
+                if m != 1.0 {
+                    counts.anomaly_steps += 1;
+                    self.obs.info("fault", "anomaly", |e| {
+                        e.field("step", t)
+                            .field("mult", m)
+                            .field("burst", p.anomaly_kind_at(t).label());
+                    });
+                }
+            }
             let obs = Observation {
                 step: t,
-                history: &w[..t],
+                history: &w[..visible],
                 current_nodes: cluster.size(),
                 theta: self.cfg.theta,
                 min_nodes: self.cfg.min_nodes,
+                metrics_fresh: fresh,
+                last_scale,
             };
             let target = policy.decide(&obs).clamp(self.cfg.min_nodes, self.cfg.max_nodes);
-            cluster.scale_to(target, t);
+            let current = cluster.size();
+            last_scale = if target == current {
+                ScaleOutcome::NoChange
+            } else if fp.is_some_and(|p| p.scale_fail_at(t)) {
+                counts.scale_fail += 1;
+                self.obs.info("fault", "scale_fail", |e| {
+                    e.field("step", t).field("requested", target).field("current", current);
+                });
+                ScaleOutcome::Rejected
+            } else {
+                let delay =
+                    if target > current { fp.map_or(0, |p| p.delay_steps_at(t)) } else { 0 };
+                cluster.scale_to_delayed(target, t, delay as f64 * dt);
+                if delay > 0 {
+                    counts.provision_delay += 1;
+                    self.obs.info("fault", "provision_delay", |e| {
+                        e.field("step", t)
+                            .field("extra_steps", delay)
+                            .field("launched", target - current);
+                    });
+                    ScaleOutcome::Delayed
+                } else {
+                    ScaleOutcome::Applied
+                }
+            };
+            if fp.is_some_and(|p| p.crash_at(t)) {
+                let crashed = cluster.crash(1, t);
+                if crashed > 0 {
+                    counts.node_crash += crashed as u64;
+                    self.obs.info("fault", "node_crash", |e| {
+                        e.field("step", t).field("count", crashed).field("pool", cluster.size());
+                    });
+                }
+            }
+            let pool = cluster.size();
             let capacity = cluster.tick(dt).max(1e-9);
             let utilization = workload / capacity;
             let violation = utilization > self.cfg.theta * (1.0 + 1e-9);
             self.obs.debug("sim", "step", |e| {
                 e.field("step", t)
                     .field("workload", workload)
-                    .field("nodes", target)
+                    .field("nodes", pool)
                     .field("utilization", utilization)
                     .field("violation", violation);
             });
@@ -105,6 +196,7 @@ impl<'a> Simulation<'a> {
                 step: t,
                 workload,
                 target_nodes: target,
+                pool_nodes: pool,
                 effective_capacity: capacity,
                 utilization,
                 violation,
@@ -120,11 +212,15 @@ impl<'a> Simulation<'a> {
             });
         }
 
-        let allocations: Vec<u32> = steps.iter().map(|s| s.target_nodes).collect();
+        let allocations: Vec<u32> = steps.iter().map(|s| s.pool_nodes).collect();
         let provisioning =
-            provisioning_rates(&allocations, w, self.cfg.theta, self.cfg.min_nodes);
+            provisioning_rates(&allocations, &w, self.cfg.theta, self.cfg.min_nodes);
         let violation_rate =
             steps.iter().filter(|s| s.violation).count() as f64 / steps.len() as f64;
+        let recovery = fp.map(|p| {
+            let violations: Vec<bool> = steps.iter().map(|s| s.violation).collect();
+            recovery_stats(&violations, p)
+        });
 
         let report = SimulationReport {
             policy: policy.name().to_string(),
@@ -134,6 +230,8 @@ impl<'a> Simulation<'a> {
             scale_out_events: cluster.scale_out_events(),
             scale_in_events: cluster.scale_in_events(),
             checkpoint_reads: cluster.storage().stats().checkpoint_reads,
+            faults: counts,
+            recovery,
         };
         if self.obs.enabled(Level::Info) {
             self.obs.info("sim", "report", |e| {
@@ -145,7 +243,8 @@ impl<'a> Simulation<'a> {
                     .field("mean_utilization", report.mean_utilization())
                     .field("node_steps", report.total_node_steps())
                     .field("scale_out_events", report.scale_out_events)
-                    .field("scale_in_events", report.scale_in_events);
+                    .field("scale_in_events", report.scale_in_events)
+                    .field("faults_applied", report.faults.total());
             });
         }
         report
@@ -256,6 +355,22 @@ mod tests {
     }
 
     #[test]
+    fn zero_workload_warns_once_per_run_not_per_step() {
+        // Regression: a trace full of idle intervals must produce exactly
+        // one aggregated warning, not one per step.
+        let tr = trace(vec![0.0; 25]);
+        let mem = rpas_obs::MemorySink::new();
+        let sim = Simulation::new(&tr, SimConfig::default())
+            .with_obs(Obs::with_sink(Box::new(mem.clone())));
+        let _ = sim.run(&mut FixedPolicy(1));
+        let warns: Vec<_> =
+            mem.events().into_iter().filter(|e| e.name == "zero_workload").collect();
+        assert_eq!(warns.len(), 1, "one warn per run, got {}", warns.len());
+        assert_eq!(warns[0].fields["steps"], rpas_obs::Value::U64(25));
+        assert_eq!(warns[0].fields["total"], rpas_obs::Value::U64(25));
+    }
+
+    #[test]
     fn observability_does_not_change_the_run() {
         let tr = trace(vec![30.0, 130.0, 250.0, 90.0]);
         let dark = Simulation::new(&tr, SimConfig::default()).run(&mut FixedPolicy(3));
@@ -264,6 +379,178 @@ mod tests {
             .run(&mut FixedPolicy(3));
         assert_eq!(dark.steps, lit.steps);
         assert_eq!(dark.provisioning, lit.provisioning);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::faults::{FaultConfig, FaultPlan};
+    use crate::policy::{FixedPolicy, PolicyHealth, ScaleOutcome};
+
+    fn trace(values: Vec<f64>) -> Trace {
+        Trace::new("w", 600, values)
+    }
+
+    /// Records what the policy observed each step, then requests a
+    /// constant target.
+    struct Probe {
+        target: u32,
+        fresh: Vec<bool>,
+        hist_len: Vec<usize>,
+        outcomes: Vec<ScaleOutcome>,
+    }
+
+    impl Probe {
+        fn new(target: u32) -> Self {
+            Self { target, fresh: vec![], hist_len: vec![], outcomes: vec![] }
+        }
+    }
+
+    impl ScalingPolicy for Probe {
+        fn name(&self) -> &'static str {
+            "probe"
+        }
+        fn decide(&mut self, obs: &Observation<'_>) -> u32 {
+            self.fresh.push(obs.metrics_fresh);
+            self.hist_len.push(obs.history.len());
+            self.outcomes.push(obs.last_scale);
+            self.target
+        }
+        fn health(&self) -> PolicyHealth {
+            PolicyHealth::Healthy
+        }
+    }
+
+    #[test]
+    fn faulted_run_is_deterministic() {
+        let tr = trace((0..200).map(|i| 100.0 + 50.0 * ((i as f64) * 0.3).sin()).collect());
+        let run = || {
+            let plan = FaultPlan::build(FaultConfig::heavy(), 42, tr.len());
+            Simulation::new(&tr, SimConfig::default())
+                .with_faults(plan)
+                .run(&mut FixedPolicy(3))
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.recovery, b.recovery);
+    }
+
+    #[test]
+    fn anomaly_bursts_change_realised_workload() {
+        let tr = trace(vec![100.0; 300]);
+        let plan = FaultPlan::build(
+            FaultConfig::from_spec("anomaly=0.05,anomaly_max=6,anomaly_mult=3").unwrap(),
+            7,
+            300,
+        );
+        let r = Simulation::new(&tr, SimConfig::default())
+            .with_faults(plan.clone())
+            .run(&mut FixedPolicy(2));
+        assert!(r.faults.anomaly_steps > 0);
+        for s in &r.steps {
+            let expected = 100.0 * plan.anomaly_mult_at(s.step);
+            assert!((s.workload - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dropout_freezes_history_and_flags_stale() {
+        let tr = trace(vec![50.0; 20]);
+        let plan = FaultPlan::build(FaultConfig::from_spec("dropout=1").unwrap(), 3, 20);
+        let mut probe = Probe::new(1);
+        let r = Simulation::new(&tr, SimConfig::default()).with_faults(plan).run(&mut probe);
+        // Every step dropped: the policy never sees fresh metrics and the
+        // visible history never advances past the start.
+        assert!(probe.fresh.iter().all(|&f| !f));
+        assert!(probe.hist_len.iter().all(|&l| l == 0));
+        assert_eq!(r.faults.metric_dropout, 20);
+    }
+
+    #[test]
+    fn scale_fail_rejects_the_action_and_reports_it() {
+        let tr = trace(vec![50.0; 10]);
+        let plan = FaultPlan::build(FaultConfig::from_spec("scale_fail=1").unwrap(), 5, 10);
+        let mut probe = Probe::new(4);
+        let r = Simulation::new(&tr, SimConfig::default()).with_faults(plan).run(&mut probe);
+        // Every attempt rejected: the pool never grows past min_nodes.
+        assert!(r.steps.iter().all(|s| s.pool_nodes == 1));
+        assert!(r.steps.iter().all(|s| s.target_nodes == 4));
+        assert_eq!(r.faults.scale_fail, 10);
+        // From step 1 on, the policy observes the rejection.
+        assert_eq!(probe.outcomes[0], ScaleOutcome::NoChange);
+        assert!(probe.outcomes[1..].iter().all(|&o| o == ScaleOutcome::Rejected));
+    }
+
+    #[test]
+    fn crashes_shrink_the_pool_before_accounting() {
+        let tr = trace(vec![50.0; 12]);
+        let plan = FaultPlan::build(FaultConfig::from_spec("crash=1").unwrap(), 9, 12);
+        let r = Simulation::new(&tr, SimConfig::default()).with_faults(plan).run(&mut FixedPolicy(4));
+        // Each step: scale to 4, then one node crashes → the pool the
+        // interval is served with stays below the target.
+        assert!(r.steps.iter().all(|s| s.pool_nodes < s.target_nodes));
+        assert_eq!(r.faults.node_crash, 12);
+    }
+
+    #[test]
+    fn provision_delay_reduces_early_capacity() {
+        let tr = trace(vec![300.0; 8]);
+        let clean = Simulation::new(&tr, SimConfig::default()).run(&mut FixedPolicy(5));
+        let plan =
+            FaultPlan::build(FaultConfig::from_spec("delay=1,delay_max=4").unwrap(), 2, 8);
+        let mut probe = Probe::new(5);
+        let slowed =
+            Simulation::new(&tr, SimConfig::default()).with_faults(plan).run(&mut probe);
+        assert!(slowed.faults.provision_delay > 0);
+        assert!(
+            slowed.steps[0].effective_capacity < clean.steps[0].effective_capacity,
+            "delayed provisioning must lower scale-out capacity ({} vs {})",
+            slowed.steps[0].effective_capacity,
+            clean.steps[0].effective_capacity
+        );
+        // The policy sees the Delayed outcome on the following step.
+        assert_eq!(probe.outcomes[1], ScaleOutcome::Delayed);
+    }
+
+    #[test]
+    fn fault_events_match_report_counts() {
+        let tr = trace((0..150).map(|i| 80.0 + (i % 7) as f64 * 30.0).collect());
+        let plan = FaultPlan::build(FaultConfig::heavy(), 13, 150);
+        let mem = rpas_obs::MemorySink::new();
+        let r = Simulation::new(&tr, SimConfig::default())
+            .with_obs(Obs::with_sink(Box::new(mem.clone())))
+            .with_faults(plan)
+            .run(&mut FixedPolicy(3));
+        let events = mem.events();
+        let count = |name: &str| -> u64 {
+            events.iter().filter(|e| e.span == "fault" && e.name == name).count() as u64
+        };
+        assert_eq!(count("scale_fail"), r.faults.scale_fail);
+        assert_eq!(count("provision_delay"), r.faults.provision_delay);
+        assert_eq!(count("node_crash"), r.faults.node_crash);
+        assert_eq!(count("metric_dropout"), r.faults.metric_dropout);
+        assert_eq!(count("anomaly"), r.faults.anomaly_steps);
+        assert!(r.faults.total() > 0, "heavy profile must inject something");
+        assert!(r.recovery.is_some());
+    }
+
+    #[test]
+    fn clean_run_reports_no_faults() {
+        let tr = trace(vec![90.0; 6]);
+        let r = Simulation::new(&tr, SimConfig::default()).run(&mut FixedPolicy(2));
+        assert_eq!(r.faults, FaultCounts::default());
+        assert!(r.recovery.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "fault plan length")]
+    fn mismatched_plan_length_rejected() {
+        let tr = trace(vec![50.0; 10]);
+        let plan = FaultPlan::build(FaultConfig::light(), 1, 5);
+        let _ = Simulation::new(&tr, SimConfig::default()).with_faults(plan);
     }
 }
 

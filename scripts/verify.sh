@@ -65,6 +65,37 @@ echo "$report" | grep -q "decision audit (Algorithm 1)" || {
 lines="$(wc -l < "$trace_tmp/t.jsonl")"
 echo "ok: $lines schema-v1 trace lines round-tripped through trace-report"
 
+echo "== chaos determinism (same seed → identical stdout + schedule) =="
+RPAS_LOG=off cargo run -q --release --offline --bin cli -- \
+    chaos --days 4 --profiles light --schedule-out "$trace_tmp/s1.jsonl" \
+    > "$trace_tmp/c1.txt"
+RPAS_LOG=off cargo run -q --release --offline --bin cli -- \
+    chaos --days 4 --profiles light --schedule-out "$trace_tmp/s2.jsonl" \
+    > "$trace_tmp/c2.txt"
+# The only permitted difference is the echoed --schedule-out path.
+diff <(grep -v "wrote fault schedules" "$trace_tmp/c1.txt") \
+     <(grep -v "wrote fault schedules" "$trace_tmp/c2.txt")
+diff "$trace_tmp/s1.jsonl" "$trace_tmp/s2.jsonl"
+grep -q '"kind"' "$trace_tmp/s1.jsonl" || {
+    echo "ERROR: fault schedule JSONL is empty" >&2
+    exit 1
+}
+echo "ok: chaos grid and fault schedule are deterministic"
+
+echo "== chaos trace round-trip (chaos --trace-out → trace-report) =="
+RPAS_LOG=off cargo run -q --release --offline --bin cli -- \
+    chaos --days 4 --profiles heavy --trace-out "$trace_tmp/chaos.jsonl" > /dev/null
+chaos_report="$(cargo run -q --release --offline --bin cli -- trace-report --trace "$trace_tmp/chaos.jsonl")"
+echo "$chaos_report" | grep -q "fault injection" || {
+    echo "ERROR: trace-report is missing the fault-injection section" >&2
+    exit 1
+}
+echo "$chaos_report" | grep -q "degradation ladder" || {
+    echo "ERROR: trace-report is missing the degradation-ladder section" >&2
+    exit 1
+}
+echo "ok: fault schedule and resilience ladder reconstruct from the trace"
+
 if [[ "${RPAS_VERIFY_PARALLEL:-0}" == "1" ]]; then
     echo "== table1 thread-count invariance =="
     tmp="$(mktemp -d)"

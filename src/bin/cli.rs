@@ -12,14 +12,15 @@
 use rpas::cli::ParsedArgs;
 use rpas::core::{
     backtest_quantile_obs, uncertainty_series, AdaptiveConfig, QuantilePredictivePolicy,
-    ReactiveAvg, ReactiveMax, ReplanSchedule, RobustAutoScalingManager, ScalingStrategy,
+    ReactiveAvg, ReactiveMax, ReplanSchedule, ResilienceConfig, ResilientManager,
+    RobustAutoScalingManager, ScalingStrategy,
 };
 use rpas::forecast::{
     Arima, ArimaConfig, DeepAr, DeepArConfig, Forecaster, HoltWinters, HoltWintersConfig,
     MlpProb, MlpProbConfig, SeasonalNaive, Tft, TftConfig, SCALING_LEVELS,
 };
 use rpas::obs::{validate_line, Histogram, Obs, TraceLine};
-use rpas::simdb::{SimConfig, Simulation};
+use rpas::simdb::{FaultConfig, FaultPlan, SimConfig, Simulation, SimulationReport};
 use rpas::traces::csv::{read_column, write_columns_to_path, write_trace};
 use rpas::traces::{alibaba_like, google_like, Trace, STEPS_PER_DAY};
 
@@ -50,6 +51,14 @@ COMMANDS
              --tau-low Q (0.8)  --tau-high Q (0.95)
              --rho R (default: median uncertainty of the first window)
              --context N  --horizon N  (sized by RPAS_PROFILE)
+             [--faults PROFILE|SPEC  --fault-seed S (101)] — workload
+             anomaly bursts injected into the evaluation split
+  chaos      fault matrix × policy grid through the cluster simulator
+             --preset alibaba|google (alibaba)  --days N (>=4; by profile)
+             --seed S (7)  --theta T (60)  --fault-seed S (101)
+             --profiles LIST (none,light,heavy; entries may also be
+             key=val specs, e.g. scale_fail=0.3,anomaly=0.1)
+             --schedule-out FILE  (fault schedules as JSONL)
   trace-report  summarize a schema-v1 JSONL trace
              --trace FILE
 
@@ -95,6 +104,7 @@ fn run(args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
         "plan" => plan(&a, &obs),
         "simulate" => simulate(&a, &obs),
         "backtest" => backtest(&a, &obs),
+        "chaos" => chaos(&a, &obs),
         "trace-report" => trace_report(&a),
         other => Err(format!("unknown command {other:?}").into()),
     };
@@ -461,6 +471,35 @@ fn backtest(a: &ParsedArgs, obs: &Obs) -> Result<(), Box<dyn std::error::Error>>
         e.field("model", model_name).field("samples", train.len());
     });
 
+    // Optional fault injection: the offline backtest has no cluster to
+    // take offline, so only the workload-anomaly class applies — bursts
+    // multiply the evaluation split the plans are judged against.
+    let faulted: Vec<f64>;
+    let test_values: &[f64] = match a.get("faults") {
+        None => &test.values,
+        Some(spec) => {
+            let fcfg = match spec {
+                "none" => FaultConfig::none(),
+                "light" => FaultConfig::light(),
+                "heavy" => FaultConfig::heavy(),
+                s => FaultConfig::from_spec(s)?,
+            };
+            let fault_seed: u64 = a.get_or("fault-seed", 101)?;
+            let plan = FaultPlan::build(fcfg, fault_seed, test.len());
+            faulted = test
+                .values
+                .iter()
+                .enumerate()
+                .map(|(t, &w)| w * plan.anomaly_mult_at(t))
+                .collect();
+            println!(
+                "faults            : {} anomaly-burst steps injected (seed {fault_seed})",
+                plan.scheduled().anomaly_steps
+            );
+            &faulted
+        }
+    };
+
     // Default ρ: the median uncertainty of the first forecast window, so
     // the conservative/aggressive split lands mid-scale for the trace at
     // hand instead of needing a hand-tuned absolute threshold.
@@ -468,7 +507,7 @@ fn backtest(a: &ParsedArgs, obs: &Obs) -> Result<(), Box<dyn std::error::Error>>
         Some(raw) => raw.parse().map_err(|_| format!("bad --rho value {raw:?}"))?,
         None => {
             let first =
-                model.forecast_quantiles(&test.values[..context], horizon, &SCALING_LEVELS)?;
+                model.forecast_quantiles(&test_values[..context], horizon, &SCALING_LEVELS)?;
             median(uncertainty_series(&first))
         }
     };
@@ -482,7 +521,7 @@ fn backtest(a: &ParsedArgs, obs: &Obs) -> Result<(), Box<dyn std::error::Error>>
 
     let bt_timer = obs.span("backtest", "rolling");
     let report =
-        backtest_quantile_obs(&*model, &test.values, context, horizon, &manager, &SCALING_LEVELS, obs);
+        backtest_quantile_obs(&*model, test_values, context, horizon, &manager, &SCALING_LEVELS, obs);
     bt_timer.finish(|e| {
         e.field("windows", report.windows.len());
     });
@@ -497,6 +536,133 @@ fn backtest(a: &ParsedArgs, obs: &Obs) -> Result<(), Box<dyn std::error::Error>>
     println!("cost regret       : {} node-steps vs oracle", report.cost_regret_node_steps);
     if let Some(w) = report.worst_window() {
         println!("worst window      : start {} under-rate {:.4}", w.start, w.report.under_rate);
+    }
+    Ok(())
+}
+
+/// Seasonal-naive predictive policy used by the chaos grid: fitted on the
+/// first half of the trace, replanning one period at a time at τ = 0.9.
+fn chaos_predictive(
+    trace: &Trace,
+    period: usize,
+    theta: f64,
+    name: &'static str,
+    obs: &Obs,
+) -> Result<QuantilePredictivePolicy<SeasonalNaive>, Box<dyn std::error::Error>> {
+    let split = trace.len() / 2;
+    let mut fc = SeasonalNaive::new(period).with_obs(obs.clone());
+    fc.fit(&trace.values[..split])?;
+    let manager = RobustAutoScalingManager::new(theta, 1, ScalingStrategy::Fixed { tau: 0.9 })
+        .with_obs(obs.clone());
+    Ok(QuantilePredictivePolicy::new(
+        name,
+        fc,
+        manager,
+        ReplanSchedule { context: period, horizon: period.min(72) },
+    ))
+}
+
+/// One row of the chaos grid, printed deterministically (no wall times).
+fn chaos_row(profile: &str, policy: &str, r: &SimulationReport) {
+    let (episodes, mean, max) = match r.recovery {
+        Some(rec) => (rec.episodes.to_string(), format!("{:.2}", rec.mean_steps), rec.max_steps.to_string()),
+        None => ("-".into(), "-".into(), "-".into()),
+    };
+    println!(
+        "{profile:<8} {policy:<13} {:>9.4} {:>9.4} {:>9.2} {:>7} {:>8} {:>9} {:>8}",
+        r.violation_rate,
+        r.provisioning.under_rate,
+        r.provisioning.avg_allocated,
+        r.faults.total(),
+        episodes,
+        mean,
+        max,
+    );
+}
+
+/// Run the fault matrix × policy grid: each fault profile is applied —
+/// with an identical schedule — to Reactive-Max, a bare seasonal-naive
+/// predictive policy, and the same predictive policy wrapped in
+/// [`ResilientManager`]. Same `--seed`/`--fault-seed` → byte-identical
+/// stdout and `--schedule-out` artifact.
+fn chaos(a: &ParsedArgs, obs: &Obs) -> Result<(), Box<dyn std::error::Error>> {
+    let (days_d, _, _) = profile_defaults();
+    let preset = a.get("preset").unwrap_or("alibaba");
+    let days: usize = a.get_or("days", days_d.max(4))?;
+    let seed: u64 = a.get_or("seed", 7)?;
+    let theta: f64 = a.get_or("theta", 60.0)?;
+    if theta <= 0.0 {
+        return Err("--theta must be positive".into());
+    }
+    let fault_seed: u64 = a.get_or("fault-seed", 101)?;
+    let profiles_raw = a.get("profiles").unwrap_or("none,light,heavy");
+
+    let cluster = match preset {
+        "alibaba" => alibaba_like(seed, days),
+        "google" => google_like(seed, days),
+        other => return Err(format!("unknown preset {other:?}").into()),
+    };
+    let trace = cluster.cpu().clone();
+    if trace.len() < 4 * STEPS_PER_DAY {
+        return Err("chaos needs at least 4 days of trace (--days 4)".into());
+    }
+    let period = STEPS_PER_DAY;
+
+    let mut plans: Vec<(String, FaultPlan)> = Vec::new();
+    for name in profiles_raw.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let cfg = match name {
+            "none" => FaultConfig::none(),
+            "light" => FaultConfig::light(),
+            "heavy" => FaultConfig::heavy(),
+            spec => FaultConfig::from_spec(spec)?,
+        };
+        cfg.validate()?;
+        plans.push((name.to_string(), FaultPlan::build(cfg, fault_seed, trace.len())));
+    }
+    if plans.is_empty() {
+        return Err("--profiles selected no fault profiles".into());
+    }
+
+    println!(
+        "chaos grid        : {preset} {days}d × {} profile(s), θ={theta}, seed {seed}, fault seed {fault_seed}",
+        plans.len()
+    );
+    println!(
+        "{:<8} {:<13} {:>9} {:>9} {:>9} {:>7} {:>8} {:>9} {:>8}",
+        "profile", "policy", "viol", "under", "avgnodes", "faults", "episodes", "mean-rec", "max-rec"
+    );
+
+    let sim_cfg = SimConfig { theta, ..Default::default() };
+    for (name, plan) in &plans {
+        let sim = Simulation::new(&trace, sim_cfg).with_obs(obs.clone());
+        let sim =
+            if plan.config().is_none() { sim } else { sim.with_faults(plan.clone()) };
+
+        let mut rmax = ReactiveMax::new(6);
+        chaos_row(name, "reactive-max", &sim.run(&mut rmax));
+
+        let mut bare = chaos_predictive(&trace, period, theta, "predictive", obs)?;
+        chaos_row(name, "predictive", &sim.run(&mut bare));
+
+        let primary = chaos_predictive(&trace, period, theta, "primary", obs)?;
+        let rcfg = ResilienceConfig {
+            max_nodes: sim_cfg.max_nodes,
+            naive_period: period,
+            naive_horizon: period.min(72),
+            ..Default::default()
+        };
+        let mut resilient =
+            ResilientManager::with_config(primary, rcfg).with_obs(obs.clone());
+        chaos_row(name, "resilient", &sim.run(&mut resilient));
+    }
+
+    if let Some(path) = a.get("schedule-out") {
+        let mut text = String::new();
+        for (name, plan) in &plans {
+            text.push_str(&plan.schedule_jsonl(Some(name)));
+        }
+        std::fs::write(path, &text)?;
+        println!("wrote fault schedules to {path}");
     }
     Ok(())
 }
@@ -603,8 +769,74 @@ fn trace_report(a: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
+    fault_injection_summary(&lines);
+    resilience_ladder_summary(&lines);
     decision_audit_summary(&lines);
     Ok(())
+}
+
+/// The fault section of `trace-report`: tally applied `fault/*` events and
+/// bound the window they landed in, reconstructing the injected schedule.
+fn fault_injection_summary(lines: &[TraceLine]) {
+    let faults: Vec<&TraceLine> = lines.iter().filter(|t| t.span == "fault").collect();
+    if faults.is_empty() {
+        return;
+    }
+    let mut by_kind = std::collections::BTreeMap::<String, u64>::new();
+    let mut first = f64::INFINITY;
+    let mut last = f64::NEG_INFINITY;
+    for t in &faults {
+        *by_kind.entry(t.event.clone()).or_default() += 1;
+        if let Some(step) = t.num("step") {
+            first = first.min(step);
+            last = last.max(step);
+        }
+    }
+    println!("\nfault injection");
+    println!("  applied faults    : {}", faults.len());
+    for (kind, n) in &by_kind {
+        println!("  {kind:<18}: {n}");
+    }
+    if first.is_finite() {
+        println!("  first/last step   : {first} / {last}");
+    }
+}
+
+/// The resilience section of `trace-report`: tally `resilience/*` events
+/// and replay the ordered fallback/recover transition sequence.
+fn resilience_ladder_summary(lines: &[TraceLine]) {
+    let events: Vec<&TraceLine> = lines.iter().filter(|t| t.span == "resilience").collect();
+    if events.is_empty() {
+        return;
+    }
+    let mut by_kind = std::collections::BTreeMap::<String, u64>::new();
+    for t in &events {
+        *by_kind.entry(t.event.clone()).or_default() += 1;
+    }
+    println!("\ndegradation ladder (resilience)");
+    for (kind, n) in &by_kind {
+        println!("  {kind:<18}: {n}");
+    }
+    let transitions: Vec<&TraceLine> = events
+        .iter()
+        .copied()
+        .filter(|t| t.event == "fallback" || t.event == "recover")
+        .collect();
+    if transitions.is_empty() {
+        return;
+    }
+    println!("  transitions       :");
+    const SHOWN: usize = 20;
+    for t in transitions.iter().take(SHOWN) {
+        let step = t.num("step").unwrap_or(0.0);
+        let from = t.str("from").unwrap_or("?");
+        let to = t.str("to").unwrap_or("?");
+        let arrow = if t.event == "fallback" { "↓" } else { "↑" };
+        println!("    step {step:>6}: {arrow} {from} → {to}");
+    }
+    if transitions.len() > SHOWN {
+        println!("    … ({} more transitions)", transitions.len() - SHOWN);
+    }
 }
 
 /// The Algorithm-1 section of `trace-report`: reconstruct the

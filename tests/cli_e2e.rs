@@ -128,3 +128,96 @@ fn bad_inputs_exit_nonzero_with_clean_errors() {
     }
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn chaos_grid_is_deterministic_and_replayable() {
+    let dir = tmpdir("chaos");
+    let d1 = dir.join("a");
+    let d2 = dir.join("b");
+    std::fs::create_dir_all(&d1).expect("mkdir");
+    std::fs::create_dir_all(&d2).expect("mkdir");
+
+    // Same seed twice, from different working directories with the same
+    // relative --schedule-out: stdout and the schedule artifact must be
+    // byte-identical.
+    let run = |cwd: &std::path::Path| {
+        cli()
+            .current_dir(cwd)
+            .env("RPAS_LOG", "off")
+            .args(["chaos", "--days", "4", "--seed", "7", "--fault-seed", "11"])
+            .args(["--profiles", "light", "--schedule-out", "sched.jsonl"])
+            .output()
+            .expect("run chaos")
+    };
+    let a = run(&d1);
+    let b = run(&d2);
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+    assert!(b.status.success(), "{}", String::from_utf8_lossy(&b.stderr));
+    assert_eq!(a.stdout, b.stdout, "chaos stdout not deterministic");
+    let s1 = std::fs::read(d1.join("sched.jsonl")).expect("schedule a");
+    let s2 = std::fs::read(d2.join("sched.jsonl")).expect("schedule b");
+    assert!(!s1.is_empty());
+    assert_eq!(s1, s2, "fault schedule not deterministic");
+
+    // The grid itself covers every policy and prints no panics.
+    let text = String::from_utf8_lossy(&a.stdout);
+    for needle in ["reactive-max", "predictive", "resilient", "light"] {
+        assert!(text.contains(needle), "chaos output missing {needle}: {text}");
+    }
+
+    // A different fault seed must change the schedule.
+    let c = cli()
+        .current_dir(&d1)
+        .env("RPAS_LOG", "off")
+        .args(["chaos", "--days", "4", "--seed", "7", "--fault-seed", "12"])
+        .args(["--profiles", "light", "--schedule-out", "sched2.jsonl"])
+        .output()
+        .expect("run chaos");
+    assert!(c.status.success());
+    let s3 = std::fs::read(d1.join("sched2.jsonl")).expect("schedule c");
+    assert_ne!(s1, s3, "fault seed ignored");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chaos_trace_round_trips_through_trace_report() {
+    let dir = tmpdir("chaos-report");
+    let trace = dir.join("chaos.jsonl");
+    let out = cli()
+        .env("RPAS_LOG", "off")
+        .args(["chaos", "--days", "4", "--profiles", "heavy"])
+        .args(["--trace-out", trace.to_str().expect("utf8")])
+        .output()
+        .expect("run chaos");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let rep = cli()
+        .args(["trace-report", "--trace", trace.to_str().expect("utf8")])
+        .output()
+        .expect("run trace-report");
+    assert!(rep.status.success(), "{}", String::from_utf8_lossy(&rep.stderr));
+    let text = String::from_utf8_lossy(&rep.stdout);
+    // Both new sections reconstruct from the trace alone.
+    assert!(text.contains("fault injection"), "{text}");
+    assert!(text.contains("degradation ladder"), "{text}");
+    for kind in ["anomaly", "metric_dropout", "scale_fail"] {
+        assert!(text.contains(kind), "missing fault kind {kind}: {text}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn backtest_accepts_fault_injection() {
+    let out = cli()
+        .env("RPAS_PROFILE", "quick")
+        .env("RPAS_LOG", "off")
+        .args(["backtest", "--preset", "alibaba", "--days", "6"])
+        .args(["--faults", "heavy", "--fault-seed", "5"])
+        .output()
+        .expect("run backtest");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("anomaly-burst steps injected"), "{text}");
+    assert!(text.contains("under-prov rate"), "{text}");
+}

@@ -134,3 +134,122 @@ fn smoothing_with_burst_up_never_below_plain_smoothing() {
         Ok(())
     });
 }
+
+/// A hostile primary forecaster for the resilience property: depending on
+/// `mode` it errors outright, emits infinities, emits implausibly huge
+/// values, or behaves sanely. Every hostile mode must be absorbed by the
+/// health gate + fallback chain without the granted target ever leaving
+/// the `[min_nodes, max_nodes]` envelope.
+struct HostileForecaster {
+    mode: u8,
+    scale: f64,
+}
+
+impl rpas::forecast::Forecaster for HostileForecaster {
+    fn name(&self) -> &'static str {
+        "hostile"
+    }
+    fn fit(&mut self, _series: &[f64]) -> Result<(), rpas::forecast::ForecastError> {
+        Ok(())
+    }
+    fn forecast_quantiles(
+        &self,
+        _context: &[f64],
+        horizon: usize,
+        levels: &[f64],
+    ) -> Result<rpas::forecast::QuantileForecast, rpas::forecast::ForecastError> {
+        let fill = match self.mode {
+            0 => return Err(rpas::forecast::ForecastError::NotFitted),
+            1 => f64::INFINITY,
+            2 => 1e12,
+            _ => self.scale,
+        };
+        let mut values = Matrix::zeros(horizon, levels.len());
+        for h in 0..horizon {
+            for i in 0..levels.len() {
+                values[(h, i)] = fill;
+            }
+        }
+        Ok(rpas::forecast::QuantileForecast::new(levels.to_vec(), values))
+    }
+}
+
+/// Records every raw target the wrapped policy emits, before the
+/// simulator applies its own clamps.
+struct Recorder<P> {
+    inner: P,
+    emitted: Vec<u32>,
+}
+
+impl<P: rpas::simdb::ScalingPolicy> rpas::simdb::ScalingPolicy for Recorder<P> {
+    fn name(&self) -> &'static str {
+        "recorder"
+    }
+    fn decide(&mut self, obs: &rpas::simdb::Observation<'_>) -> u32 {
+        let t = self.inner.decide(obs);
+        self.emitted.push(t);
+        t
+    }
+}
+
+#[test]
+fn resilient_targets_never_leave_the_envelope() {
+    use rpas::core::{
+        ForecastHealthGate, QuantilePredictivePolicy, ReplanSchedule, ResilienceConfig,
+        ResilientManager, RobustAutoScalingManager, ScalingStrategy,
+    };
+    use rpas::simdb::{FaultConfig, FaultPlan, SimConfig, Simulation};
+    use rpas::traces::Trace;
+
+    forall("resilient_targets_never_leave_the_envelope", 24, |g| {
+        let values = g.vec_f64(0.0, 400.0, 24, 120);
+        let steps = values.len();
+        let trace = Trace::new("w", 600, values);
+        let theta = g.f64_in(10.0, 150.0);
+        let min_nodes = g.u32_in(1, 4);
+        let max_nodes = min_nodes + g.u32_in(1, 24);
+        let fcfg = FaultConfig {
+            scale_fail_prob: g.f64_in(0.0, 0.5),
+            provision_delay_prob: g.f64_in(0.0, 0.5),
+            provision_delay_max_steps: g.u32_in(1, 5),
+            node_crash_prob: g.f64_in(0.0, 0.2),
+            metric_dropout_prob: g.f64_in(0.0, 0.5),
+            anomaly_start_prob: g.f64_in(0.0, 0.2),
+            anomaly_max_steps: g.u32_in(1, 10),
+            anomaly_max_mult: g.f64_in(1.1, 5.0),
+        };
+        let plan = FaultPlan::build(fcfg, g.u64(), steps);
+
+        let hostile = HostileForecaster { mode: g.u8() % 4, scale: g.f64_in(1.0, 300.0) };
+        let primary = QuantilePredictivePolicy::new(
+            "hostile-primary",
+            ForecastHealthGate::new(hostile),
+            RobustAutoScalingManager::new(theta, min_nodes, ScalingStrategy::Fixed { tau: 0.9 }),
+            ReplanSchedule { context: 8, horizon: 8 },
+        );
+        let rcfg = ResilienceConfig {
+            max_nodes,
+            max_step_delta: g.u32_in(1, 64),
+            max_retries: g.u32_in(0, 5),
+            retry_backoff_steps: g.u32_in(0, 3),
+            probation_steps: g.usize_in(1, 16),
+            naive_period: g.usize_in(1, 12),
+            naive_horizon: g.usize_in(1, 12),
+            backstop_window: g.usize_in(1, 12),
+        };
+        let mut rec =
+            Recorder { inner: ResilientManager::with_config(primary, rcfg), emitted: Vec::new() };
+
+        let cfg = SimConfig { theta, min_nodes, ..Default::default() };
+        let report = Simulation::new(&trace, cfg).with_faults(plan).run(&mut rec);
+        prop_assert_eq!(report.steps.len(), steps);
+        prop_assert_eq!(rec.emitted.len(), steps);
+        for (t, &granted) in rec.emitted.iter().enumerate() {
+            prop_assert!(
+                (min_nodes..=max_nodes).contains(&granted),
+                "step {t}: granted {granted} outside [{min_nodes}, {max_nodes}]"
+            );
+        }
+        Ok(())
+    });
+}

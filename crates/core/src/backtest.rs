@@ -189,6 +189,7 @@ mod tests {
         // For a plan with zero under-provisioning, allocated ≥ oracle in
         // every window, so regret ≥ 0.
         let r = backtest(0.95);
+        // rpas-lint: allow(F1, reason = "under_rate is a ratio of integer counts; it is exactly zero iff no step under-provisioned")
         if r.overall.under_rate == 0.0 {
             assert!(r.cost_regret_node_steps >= 0);
             for w in &r.windows {

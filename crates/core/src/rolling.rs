@@ -30,6 +30,7 @@ use crate::plan::CapacityPlan;
 use rpas_forecast::{Forecaster, QuantileForecast};
 use rpas_obs::Obs;
 use rpas_traces::RollingWindows;
+// rpas-lint: allow-file(D2, reason = "Instant feeds only the wall_us timing fields of obs events; no result depends on it (determinism.rs pins this)")
 use std::time::Instant;
 
 /// Parameters of the rolling-origin protocol: forecast `horizon` steps

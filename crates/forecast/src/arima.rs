@@ -96,6 +96,7 @@ impl Arima {
             }
             x[0] = y0;
             let norm = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+            // rpas-lint: allow(F1, reason = "division guard: only an exactly-zero norm divides by zero below; tiny norms are valid")
             if norm == 0.0 {
                 return 0.0;
             }
@@ -296,7 +297,13 @@ impl Forecaster for Arima {
 
         // Undifference the point path.
         let diffs: Vec<f64> = z[n..].iter().map(|v| v + f.mean).collect();
-        let heads: Vec<f64> = (0..d).map(|j| *stats::difference(context, j).last().unwrap()).collect();
+        let heads: Vec<f64> = (0..d)
+            .map(|j| {
+                *stats::difference(context, j)
+                    .last()
+                    .expect("context length was checked against d at the top of forecast")
+            })
+            .collect();
         let point = if d == 0 { diffs.clone() } else { stats::undifference(&diffs, &heads) };
 
         // Forecast standard deviations via psi weights (cumulated once per

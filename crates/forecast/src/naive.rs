@@ -189,15 +189,20 @@ mod tests {
     #[test]
     fn last_value_point_forecast() {
         let mut m = LastValue::new();
-        PointForecaster::fit(&mut m, &[1.0, 2.0, 3.0]).unwrap();
-        assert_eq!(m.forecast(&[5.0, 7.0], 3).unwrap(), vec![7.0, 7.0, 7.0]);
+        PointForecaster::fit(&mut m, &[1.0, 2.0, 3.0]).expect("fit succeeds on a non-empty series");
+        assert_eq!(
+            m.forecast(&[5.0, 7.0], 3).expect("fitted model forecasts from a non-empty context"),
+            vec![7.0, 7.0, 7.0]
+        );
     }
 
     #[test]
     fn last_value_intervals_widen_with_horizon() {
         let mut m = LastValue::new();
-        Forecaster::fit(&mut m, &[0.0, 1.0, 0.0, 1.0, 0.0, 1.0]).unwrap();
-        let f = m.forecast_quantiles(&[1.0], 4, &[0.1, 0.9]).unwrap();
+        Forecaster::fit(&mut m, &[0.0, 1.0, 0.0, 1.0, 0.0, 1.0]).expect("fit succeeds on a non-empty series");
+        let f = m
+            .forecast_quantiles(&[1.0], 4, &[0.1, 0.9])
+            .expect("fitted model forecasts from a non-empty context");
         let w1 = f.at(0, 0.9) - f.at(0, 0.1);
         let w4 = f.at(3, 0.9) - f.at(3, 0.1);
         assert!(w4 > w1 * 1.5, "w1={w1} w4={w4}");
@@ -220,8 +225,10 @@ mod tests {
         let mut m = SeasonalNaive::new(period);
         // Two exact seasons of [10, 20, 30, 40].
         let series: Vec<f64> = (0..8).map(|i| (10 * (i % 4 + 1)) as f64).collect();
-        Forecaster::fit(&mut m, &series).unwrap();
-        let f = m.forecast_quantiles(&series[4..], 6, &[0.5]).unwrap();
+        Forecaster::fit(&mut m, &series).expect("two full seasons are enough to fit");
+        let f = m
+            .forecast_quantiles(&series[4..], 6, &[0.5])
+            .expect("one full season of context is enough to forecast");
         let med = f.median();
         assert_eq!(med[..4], [10.0, 20.0, 30.0, 40.0]);
         assert_eq!(med[4], 10.0);
@@ -235,8 +242,10 @@ mod tests {
         let mem = rpas_obs::MemorySink::new();
         let mut m =
             SeasonalNaive::new(4).with_obs(Obs::with_sink(Box::new(mem.clone())));
-        Forecaster::fit(&mut m, &[1.0; 8]).unwrap();
-        let f = m.forecast_quantiles(&[1.0, 2.0], 3, &[0.5]).unwrap();
+        Forecaster::fit(&mut m, &[1.0; 8]).expect("two full seasons are enough to fit");
+        let f = m
+            .forecast_quantiles(&[1.0, 2.0], 3, &[0.5])
+            .expect("short context degrades to a flat forecast instead of erroring");
         assert_eq!(f.median(), vec![2.0, 2.0, 2.0]);
         let warn = mem
             .events()
@@ -274,8 +283,10 @@ mod tests {
     #[test]
     fn seasonal_naive_flat_forecast_quantiles_stay_ordered() {
         let mut m = SeasonalNaive::new(6);
-        Forecaster::fit(&mut m, &[5.0, 9.0, 4.0, 8.0, 5.0, 9.0, 4.0, 8.0]).unwrap();
-        let f = m.forecast_quantiles(&[7.0], 4, &[0.1, 0.5, 0.9]).unwrap();
+        Forecaster::fit(&mut m, &[5.0, 9.0, 4.0, 8.0, 5.0, 9.0, 4.0, 8.0]).expect("two full seasons are enough to fit");
+        let f = m
+            .forecast_quantiles(&[7.0], 4, &[0.1, 0.5, 0.9])
+            .expect("short context degrades to a flat forecast instead of erroring");
         assert!(f.is_monotone());
         assert!((f.at(0, 0.5) - 7.0).abs() < 1e-9);
         assert!(f.at(0, 0.9) > f.at(0, 0.1));
@@ -285,8 +296,10 @@ mod tests {
     #[test]
     fn quantiles_ordered() {
         let mut m = LastValue::new();
-        Forecaster::fit(&mut m, &[5.0, 6.0, 4.0, 7.0]).unwrap();
-        let f = m.forecast_quantiles(&[5.0], 3, &[0.1, 0.5, 0.9]).unwrap();
+        Forecaster::fit(&mut m, &[5.0, 6.0, 4.0, 7.0]).expect("fit succeeds on a non-empty series");
+        let f = m
+            .forecast_quantiles(&[5.0], 3, &[0.1, 0.5, 0.9])
+            .expect("fitted model forecasts from a non-empty context");
         assert!(f.is_monotone());
         assert!(f.at(0, 0.1) < f.at(0, 0.9));
     }

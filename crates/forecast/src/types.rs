@@ -90,7 +90,7 @@ impl QuantileForecast {
         for h in 0..values.rows() {
             let row = values.row_mut(h);
             if row.windows(2).any(|w| w[0] > w[1]) {
-                row.sort_by(|a, b| a.partial_cmp(b).expect("NaN in forecast"));
+                row.sort_by(|a, b| a.total_cmp(b));
             }
         }
         Self { levels, values }

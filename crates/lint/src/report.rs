@@ -1,0 +1,201 @@
+//! Diagnostics and the two output renderers: human `file:line` text and a
+//! stable JSON report (sorted keys, sorted violations) suitable for CI
+//! artifact diffing.
+
+use crate::baseline::Baseline;
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory: fails only under `--deny-warnings` (e.g. stale baseline).
+    Warning,
+    /// Violation: always fails the run.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding, anchored to a file and line.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule identifier (`D1`, `D2`, `O1`, `P1`, `F1`, `LINT`).
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line (0 for whole-file findings).
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// Error or warning.
+    pub severity: Severity,
+}
+
+impl Diagnostic {
+    /// A new error-severity diagnostic.
+    pub fn error(rule: &'static str, file: &str, line: u32, message: impl Into<String>) -> Self {
+        Self { rule, file: file.to_string(), line, message: message.into(), severity: Severity::Error }
+    }
+
+    /// A new warning-severity diagnostic.
+    pub fn warning(rule: &'static str, file: &str, line: u32, message: impl Into<String>) -> Self {
+        Self {
+            rule,
+            file: file.to_string(),
+            line,
+            message: message.into(),
+            severity: Severity::Warning,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {}:{}: {}",
+            self.severity, self.rule, self.file, self.line, self.message
+        )
+    }
+}
+
+/// Sort diagnostics into the stable report order: errors before warnings,
+/// then by file, line, rule, message.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then_with(|| a.file.cmp(&b.file))
+            .then_with(|| a.line.cmp(&b.line))
+            .then_with(|| a.rule.cmp(b.rule))
+            .then_with(|| a.message.cmp(&b.message))
+    });
+}
+
+/// Escape a string for a JSON double-quoted context.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the human report. Diagnostics must already be sorted.
+pub fn render_human(diags: &[Diagnostic], files_scanned: usize) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+    let warnings = diags.len() - errors;
+    out.push_str(&format!(
+        "rpas-lint: {files_scanned} files scanned, {errors} errors, {warnings} warnings\n"
+    ));
+    out
+}
+
+/// Render the stable JSON report. Diagnostics must already be sorted.
+pub fn render_json(diags: &[Diagnostic], p1: &Baseline, files_scanned: usize) -> String {
+    let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+    let warnings = diags.len() - errors;
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"version\": 1,\n");
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str(&format!("  \"errors\": {errors},\n"));
+    out.push_str(&format!("  \"warnings\": {warnings},\n"));
+    out.push_str("  \"violations\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            d.rule,
+            d.severity,
+            json_escape(&d.file),
+            d.line,
+            json_escape(&d.message)
+        ));
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+    out.push_str("  \"p1_counts\": {");
+    for (i, (krate, c)) in p1.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    \"{}\": {{\"unwrap\": {}, \"expect\": {}, \"panic\": {}, \"index\": {}}}",
+            json_escape(krate),
+            c.unwrap,
+            c.expect,
+            c.panic,
+            c.index
+        ));
+    }
+    if !p1.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::P1Counts;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn human_line_has_file_line_anchor() {
+        let d = Diagnostic::error("F1", "crates/core/src/plan.rs", 12, "float equality");
+        assert_eq!(d.to_string(), "error[F1]: crates/core/src/plan.rs:12: float equality");
+    }
+
+    #[test]
+    fn sort_puts_errors_first_then_path_order() {
+        let mut v = vec![
+            Diagnostic::warning("P1", "b.rs", 1, "w"),
+            Diagnostic::error("D2", "z.rs", 9, "e2"),
+            Diagnostic::error("D1", "a.rs", 3, "e1"),
+        ];
+        sort(&mut v);
+        assert_eq!(v[0].file, "a.rs");
+        assert_eq!(v[1].file, "z.rs");
+        assert_eq!(v[2].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn json_report_is_stable_and_escaped() {
+        let diags = vec![Diagnostic::error("O1", "src/a \"q\".rs", 7, "line1\nline2")];
+        let mut p1: Baseline = BTreeMap::new();
+        p1.insert("rpas-core".into(), P1Counts { unwrap: 1, expect: 2, panic: 3, index: 4 });
+        let j = render_json(&diags, &p1, 10);
+        assert!(j.contains("\"files_scanned\": 10"));
+        assert!(j.contains("\\\"q\\\""));
+        assert!(j.contains("line1\\nline2"));
+        assert!(j.contains("\"rpas-core\": {\"unwrap\": 1, \"expect\": 2, \"panic\": 3, \"index\": 4}"));
+        // Byte-identical across runs.
+        assert_eq!(j, render_json(&diags, &p1, 10));
+    }
+}

@@ -1,0 +1,11 @@
+// lint-fixture: path = crates/obs/src/fake_sink.rs
+//! Allowlisted paths: obs may touch clocks and stderr. This fixture has no
+//! annotations — it must produce no diagnostics at all.
+
+pub fn stderr_sink(line: &str) {
+    eprintln!("{line}");
+}
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,20 @@
+// lint-fixture: path = crates/core/src/fake_d1.rs
+//! D1: references to banned external crates from Rust source.
+
+use rand::Rng; //~ D1
+use std::fmt::Write as _;
+
+extern crate serde; //~ D1
+
+pub fn f() -> String {
+    let mut s = String::new();
+    // A banned name used as a plain local identifier is not a crate
+    // reference and must not be flagged.
+    let rand = 3;
+    let _ = write!(s, "{rand}");
+    s
+}
+
+pub fn g() -> u64 {
+    crossbeam::scope_len() //~ D1
+}

@@ -1,0 +1,37 @@
+// lint-fixture: path = crates/core/src/fake_d2.rs
+//! D2: nondeterminism sources outside the obs/bench allowlist.
+
+use std::collections::BTreeMap; // deterministic — fine
+use std::time::Instant; //~ D2
+
+pub fn now_wall() -> std::time::SystemTime { //~ D2
+    std::time::SystemTime::now() //~ D2
+}
+
+pub fn ordered() -> BTreeMap<u32, u32> {
+    BTreeMap::new()
+}
+
+pub fn unordered() {
+    let m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new(); //~ D2 D2
+    drop(m);
+}
+
+pub fn who() -> String {
+    format!("{:?}", std::thread::current()) //~ D2
+}
+
+pub fn timed() -> u64 {
+    // rpas-lint: allow(D2, reason = "fixture: timing only, result unused")
+    let t0 = Instant::now();
+    drop(t0);
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn clocks_are_fine_in_tests() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,30 @@
+// lint-fixture: path = crates/tsmath/src/fake_f1.rs
+//! F1: float equality in numeric crates (test code included).
+
+pub fn bad(a: f64, b: f64) -> bool {
+    let exact = a == 0.0; //~ F1
+    let signed = b != -1.5; //~ F1
+    exact || signed
+}
+
+pub fn fine(a: f64, n: usize) -> bool {
+    // Integer comparisons and epsilon bounds are not flagged; neither are
+    // ranges (`0..n`) or method calls on int literals.
+    let int_ok = n == 0;
+    let eps_ok = (a - 1.0).abs() < 1e-12;
+    let span_ok = (0..n).len() == n.max(1);
+    int_ok || eps_ok || span_ok
+}
+
+pub fn justified(a: f64) -> bool {
+    // rpas-lint: allow(F1, reason = "fixture: bitwise identity check")
+    a == 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_are_still_in_scope() {
+        assert!(1.0 == 1.0); //~ F1
+    }
+}

@@ -1,0 +1,27 @@
+// lint-fixture: path = crates/core/src/fake_o1.rs
+//! O1: stdout/stderr discipline outside obs and the CLI output layer.
+
+pub fn chatty() {
+    println!("progress: {}", 1); //~ O1
+    print!("partial"); //~ O1
+    eprintln!("warning"); //~ O1
+}
+
+pub fn quiet(obs: &str) {
+    // Formatting into a string is not an output-stream violation.
+    let _ = format!("{obs}");
+}
+
+pub fn justified() {
+    // rpas-lint: allow(O1, reason = "fixture: pre-obs bootstrap error path")
+    eprintln!("cannot initialise obs");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn printing_in_tests() {
+        println!("stdout debug dumps are fine in tests");
+        eprintln!("but stderr stays reserved even in tests"); //~ O1
+    }
+}

@@ -1,0 +1,39 @@
+// lint-fixture: path = crates/core/src/fake_p1.rs
+//! P1: panic-site census over non-test library code.
+
+pub fn sites(v: &[u64], o: Option<u64>) -> u64 {
+    let first = v[0]; //~ P1(index)
+    let x = o.unwrap(); //~ P1(unwrap)
+    let y = o.expect("checked by caller"); //~ P1(expect)
+    if first > 10 {
+        panic!("out of range"); //~ P1(panic)
+    }
+    x + y
+}
+
+pub fn not_sites(v: &[u64]) -> u64 {
+    // Slice patterns and macro brackets are not indexing expressions.
+    let [a, ..] = v else { return 0 };
+    let w = vec![1, 2, 3];
+    let mut total = *a;
+    for x in w {
+        total += x;
+    }
+    total
+}
+
+pub fn budgeted(v: &[u64]) -> u64 {
+    // rpas-lint: allow(P1, reason = "fixture: justified hot-path index")
+    v[1]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_not_counted() {
+        let v = vec![1u64];
+        assert_eq!(v[0], 1);
+        let o: Option<u64> = Some(2);
+        assert_eq!(o.unwrap(), 2);
+    }
+}

@@ -1,0 +1,7 @@
+// lint-fixture: path = crates/core/src/fake_suppress.rs
+//! LINT: suppression directives must carry a reason.
+
+pub fn missing_reason() {
+    // rpas-lint: allow(O1) //~ LINT
+    println!("directive above is malformed, so this still counts"); //~ O1
+}

@@ -138,7 +138,7 @@ impl Tableau {
 /// let p = LpProblem::minimize(vec![1.0, 1.0])
 ///     .constraint(vec![1.0, 2.0], Relation::Ge, 4.0)
 ///     .constraint(vec![3.0, 1.0], Relation::Ge, 6.0);
-/// let s = solve(&p).unwrap();
+/// let s = solve(&p).expect("this LP is feasible and bounded by construction");
 /// assert!((s.objective - 2.8).abs() < 1e-7);
 /// ```
 ///
@@ -267,6 +267,7 @@ pub fn solve(p: &LpProblem) -> Result<LpSolution, LpError> {
                 continue;
             }
             let cb = if b < n { p.objective()[b] } else { 0.0 };
+            // rpas-lint: allow(F1, reason = "exact-zero cost skip: adding a zero objective coefficient is a no-op, an epsilon would change reduced costs")
             if cb != 0.0 {
                 for c in 0..cols {
                     let v = t.at(r, c);
@@ -313,7 +314,7 @@ mod tests {
         let p = LpProblem::minimize(vec![1.0, 1.0])
             .constraint(vec![1.0, 2.0], Ge, 4.0)
             .constraint(vec![3.0, 1.0], Ge, 6.0);
-        let s = solve(&p).unwrap();
+        let s = solve(&p).expect("this LP is feasible and bounded by construction");
         assert_close(s.objective, 2.8);
         assert_close(s.x[0], 1.6);
         assert_close(s.x[1], 1.2);
@@ -325,7 +326,7 @@ mod tests {
         let p = LpProblem::minimize(vec![1.0, 1.0])
             .constraint(vec![1.0, 0.0], Le, 5.0)
             .constraint(vec![0.0, 1.0], Le, 3.0);
-        let s = solve(&p).unwrap();
+        let s = solve(&p).expect("this LP is feasible and bounded by construction");
         assert_close(s.objective, 0.0);
     }
 
@@ -337,7 +338,7 @@ mod tests {
             .constraint(vec![1.0, 0.0], Le, 4.0)
             .constraint(vec![0.0, 2.0], Le, 12.0)
             .constraint(vec![3.0, 2.0], Le, 18.0);
-        let s = solve(&p).unwrap();
+        let s = solve(&p).expect("this LP is feasible and bounded by construction");
         assert_close(s.objective, -36.0);
         assert_close(s.x[0], 2.0);
         assert_close(s.x[1], 6.0);
@@ -350,7 +351,7 @@ mod tests {
         let p = LpProblem::minimize(vec![2.0, 3.0])
             .constraint(vec![1.0, 1.0], Eq, 10.0)
             .constraint(vec![1.0, 0.0], Ge, 2.0);
-        let s = solve(&p).unwrap();
+        let s = solve(&p).expect("this LP is feasible and bounded by construction");
         assert_close(s.objective, 20.0);
         assert_close(s.x[0], 10.0);
     }
@@ -375,7 +376,7 @@ mod tests {
     fn negative_rhs_normalised() {
         // −x ≤ −3 is x ≥ 3.
         let p = LpProblem::minimize(vec![1.0]).constraint(vec![-1.0], Le, -3.0);
-        let s = solve(&p).unwrap();
+        let s = solve(&p).expect("this LP is feasible and bounded by construction");
         assert_close(s.x[0], 3.0);
     }
 
@@ -385,7 +386,7 @@ mod tests {
             .constraint(vec![1.0, 1.0], Ge, 2.0)
             .constraint(vec![2.0, 2.0], Ge, 4.0) // same halfspace
             .constraint(vec![1.0, 1.0], Ge, 1.0); // dominated
-        let s = solve(&p).unwrap();
+        let s = solve(&p).expect("this LP is feasible and bounded by construction");
         assert_close(s.objective, 2.0);
     }
 
@@ -401,7 +402,7 @@ mod tests {
             row[t] = theta;
             p = p.constraint(row, Ge, wt);
         }
-        let s = solve(&p).unwrap();
+        let s = solve(&p).expect("this LP is feasible and bounded by construction");
         for (t, &wt) in w.iter().enumerate() {
             assert_close(s.x[t], wt / theta);
         }
@@ -417,7 +418,7 @@ mod tests {
             .constraint(vec![1.0, 0.0, 1.0], Ge, 1.0)
             .constraint(vec![0.0, 1.0, 1.0], Ge, 1.0)
             .constraint(vec![1.0, 1.0, 1.0], Ge, 1.5);
-        let s = solve(&p).unwrap();
+        let s = solve(&p).expect("this LP is feasible and bounded by construction");
         assert_close(s.objective, 1.5);
     }
 }

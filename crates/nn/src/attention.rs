@@ -79,6 +79,7 @@ fn project_back(x: &Matrix, w: &[f64], dw: &mut [f64], dy: &Matrix, d: usize) ->
         let dyr = dy.row(r);
         for o in 0..d {
             let g = dyr[o];
+            // rpas-lint: allow(F1, reason = "exact-zero gradient skip: the axpy below is a no-op for g == ±0, an epsilon would alter training numerics")
             if g == 0.0 {
                 continue;
             }
@@ -148,6 +149,7 @@ impl MultiHeadAttention {
             for i in 0..t {
                 for j in 0..t {
                     let a = scores[(i, j)];
+                    // rpas-lint: allow(F1, reason = "exact-zero attention-weight skip: a zero weight contributes nothing, an epsilon would alter training numerics")
                     if a == 0.0 {
                         continue;
                     }
@@ -203,6 +205,7 @@ impl MultiHeadAttention {
                 }
                 for j in 0..t {
                     let ds = a[(i, j)] * (da[(i, j)] - inner) * scale;
+                    // rpas-lint: allow(F1, reason = "exact-zero score-gradient skip: the axpy below is a no-op for ds == ±0, an epsilon would alter training numerics")
                     if ds == 0.0 {
                         continue;
                     }

@@ -80,6 +80,7 @@ fn mat_acc(m: &[f64], x: &[f64], y: &mut [f64]) {
 fn mat_back(m: &[f64], dm: &mut [f64], x: &[f64], dy: &[f64], dx: &mut [f64]) {
     let cols = x.len();
     for (r, &d) in dy.iter().enumerate() {
+        // rpas-lint: allow(F1, reason = "exact-zero gradient skip: the axpy below is a no-op for d == ±0, an epsilon would alter training numerics")
         if d == 0.0 {
             continue;
         }

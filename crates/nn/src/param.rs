@@ -72,6 +72,7 @@ mod tests {
     fn zeros_shape() {
         let p = Param::zeros(4);
         assert_eq!(p.len(), 4);
+        // rpas-lint: allow(F1, reason = "zeros() promises bitwise +0.0 initialisation; an epsilon would weaken the contract under test")
         assert!(p.data.iter().all(|&x| x == 0.0));
         assert!(!p.is_empty());
         assert!(Param::zeros(0).is_empty());

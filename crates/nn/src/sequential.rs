@@ -40,7 +40,7 @@ impl Mlp {
 
     /// Output width.
     pub fn out_dim(&self) -> usize {
-        self.layers.last().unwrap().out_dim()
+        self.layers.last().expect("Mlp::new guarantees at least one dense layer").out_dim()
     }
 
     /// Forward pass with caching.

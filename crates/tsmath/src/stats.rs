@@ -82,7 +82,13 @@ pub fn autocovariance(xs: &[f64], k: usize) -> f64 {
 /// Sample autocorrelation at lag `k`.
 pub fn autocorrelation(xs: &[f64], k: usize) -> f64 {
     let c0 = autocovariance(xs, 0);
-    if c0 == 0.0 {
+    // A numerically-constant series does not give exactly zero variance in
+    // general: mean subtraction leaves O(ε·(1+|m|)) rounding residuals per
+    // sample. Compare against the variance of that rounding floor instead
+    // of `== 0.0`, so near-constant series don't amplify noise into fake
+    // autocorrelation structure.
+    let floor = f64::EPSILON * (1.0 + mean(xs).abs());
+    if c0 <= floor * floor {
         return if k == 0 { 1.0 } else { 0.0 };
     }
     autocovariance(xs, k) / c0

@@ -4,8 +4,10 @@
 # Asserts the two invariants this repo promises:
 #   1. The whole workspace builds and tests OFFLINE — no registry access,
 #      path dependencies only.
-#   2. None of the removed external crates creep back in, either as a
-#      `Cargo.toml` dependency or as a stray `use` in source.
+#   2. The rpas-lint rules hold (DESIGN.md §9): no banned external crates,
+#      no nondeterminism sources outside obs/bench, stdout/stderr
+#      discipline, a frozen panic-site budget, and no bare float equality
+#      in numeric crates.
 #
 # Optional: RPAS_VERIFY_PARALLEL=1 additionally checks that the table1
 # experiment produces byte-identical CSV output single-threaded vs
@@ -22,33 +24,37 @@ cargo build --release --offline
 echo "== offline tests =="
 cargo test -q --offline
 
-echo "== banned-dependency grep guard =="
-# Source-level guard: none of the replaced crates may be referenced again.
-if grep -rn "rand::\|crossbeam\|proptest\|criterion" crates/ src/ tests/; then
-    echo "ERROR: banned external-crate reference found (see matches above)" >&2
+echo "== rpas-lint (replaces the old grep guards; DESIGN.md §9) =="
+# Token-level static analysis: banned crates (D1), nondeterminism sources
+# (D2), stdout/stderr discipline (O1), panic-site budget (P1), and float
+# equality in numeric crates (F1). Comment- and string-aware, so it has
+# none of the grep guards' false positives — and it hard-fails on budget
+# growth against lint-baseline.json.
+cargo run -q --release --offline --bin lint -- --deny-warnings --json \
+    > /dev/null || {
+    # Re-run in human format so the failure is readable in CI logs.
+    cargo run -q --release --offline --bin lint -- --deny-warnings >&2 || true
+    echo "ERROR: rpas-lint found violations (see diagnostics above)" >&2
     exit 1
-fi
-# Manifest-level guard: every dependency must be an in-workspace path dep.
-if grep -rn "rand\|crossbeam\|proptest\|criterion\|bytes\|parking_lot\|serde" \
-    --include=Cargo.toml Cargo.toml crates/; then
-    echo "ERROR: banned crate listed in a Cargo.toml (see matches above)" >&2
-    exit 1
-fi
-echo "ok: no banned references"
+}
+echo "ok: workspace lints clean against the committed baseline"
 
-echo "== stderr discipline grep guard =="
-# Only the obs stderr sink may write to stderr directly; everything else
-# routes diagnostics through an Obs handle (crates/obs/README: sinks).
-if grep -rn "eprintln!" --include='*.rs' crates/ src/ tests/ 2>/dev/null \
-    | grep -v '^crates/obs/' | grep -v '://'; then
-    echo "ERROR: eprintln! outside crates/obs (route through rpas_obs::Obs)" >&2
-    exit 1
-fi
-echo "ok: stderr writes confined to the obs sink"
-
-echo "== trace round-trip (backtest --trace-out → trace-report) =="
 trace_tmp="$(mktemp -d)"
 trap 'rm -rf "$trace_tmp"' EXIT
+
+echo "== lint baseline freshness =="
+# The committed baseline must be exactly what a fresh census produces:
+# a stale file would let the budget drift silently downwards-then-up.
+cargo run -q --release --offline --bin lint -- \
+    --write-baseline "$trace_tmp/lint-baseline.json" > /dev/null
+diff -u lint-baseline.json "$trace_tmp/lint-baseline.json" || {
+    echo "ERROR: lint-baseline.json is stale — regenerate with" >&2
+    echo "       cargo run --bin lint -- --write-baseline   and review the diff" >&2
+    exit 1
+}
+echo "ok: lint-baseline.json matches a fresh census"
+
+echo "== trace round-trip (backtest --trace-out → trace-report) =="
 RPAS_PROFILE=quick RPAS_LOG=warn \
     cargo run -q --release --offline --bin cli -- backtest --trace-out "$trace_tmp/t.jsonl"
 report="$(cargo run -q --release --offline --bin cli -- trace-report --trace "$trace_tmp/t.jsonl")"

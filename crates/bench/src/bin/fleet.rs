@@ -1,0 +1,152 @@
+//! Fleet-throughput benchmark: tenants×ticks per second of the
+//! [`FleetEngine`] at 1, 2, and max worker threads.
+//!
+//! Each setting rebuilds the same seeded fleet (build time is reported
+//! separately) and times `run_to_completion`; the reported figure is the
+//! best of `RPAS_BENCH_SAMPLES` runs (default 3 — a whole fleet run is
+//! far above timer resolution, so best-of is robust without the
+//! calibrated batching the micro-benchmarks need). Results land in
+//! `BENCH_fleet.json` at the workspace root so the perf trajectory is
+//! recorded alongside the code.
+//!
+//! Run: `cargo run --release -p rpas-bench --bin fleet`
+//! (`RPAS_PROFILE=quick` shrinks the fleet for a smoke test.)
+
+use rpas_bench::bench_obs;
+use rpas_core::{FleetConfig, FleetEngine};
+use std::time::Instant;
+
+/// One measured thread setting.
+struct Row {
+    threads: usize,
+    build_secs: f64,
+    run_secs: f64,
+    tenant_ticks_per_sec: f64,
+}
+
+fn bench_threads(cfg: &FleetConfig, threads: usize, samples: usize) -> Row {
+    std::env::set_var("RPAS_THREADS", threads.to_string());
+    let ticks = (cfg.tenants * cfg.days * 144) as f64;
+    let mut best_build = f64::INFINITY;
+    let mut best_run = f64::INFINITY;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        let mut engine = FleetEngine::new(cfg);
+        let built = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        engine.run_to_completion();
+        let ran = t1.elapsed().as_secs_f64();
+        std::hint::black_box(engine.finish());
+        best_build = best_build.min(built);
+        best_run = best_run.min(ran);
+    }
+    std::env::remove_var("RPAS_THREADS");
+    Row {
+        threads,
+        build_secs: best_build,
+        run_secs: best_run,
+        tenant_ticks_per_sec: ticks / best_run,
+    }
+}
+
+fn main() {
+    let quick = matches!(std::env::var("RPAS_PROFILE").ok().as_deref(), Some("quick"));
+    let (tenants, days) = if quick { (64, 2) } else { (256, 4) };
+    let mut cfg = FleetConfig::new(tenants, 7);
+    cfg.days = days;
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut settings = vec![1usize, 2, cores];
+    settings.sort_unstable();
+    settings.dedup();
+
+    let samples = std::env::var("RPAS_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3);
+
+    println!(
+        "fleet throughput — {tenants} tenant(s) × {} tick(s), {cores} core(s), best of {samples}",
+        days * 144
+    );
+
+    // Untimed warm-up so the first measured setting doesn't absorb
+    // allocator / page-cache cold-start cost.
+    {
+        let mut engine = FleetEngine::new(&cfg);
+        engine.run_to_completion();
+        std::hint::black_box(engine.finish());
+    }
+
+    let mut rows = Vec::new();
+    for &threads in &settings {
+        let row = bench_threads(&cfg, threads, samples);
+        println!(
+            "threads {threads:>3}: build {:.3} s, run {:.3} s, {:.0} tenant-ticks/s",
+            row.build_secs, row.run_secs, row.tenant_ticks_per_sec
+        );
+        bench_obs().debug("bench", "fleet_throughput", |e| {
+            e.field("threads", row.threads)
+                .field("tenants", tenants)
+                .field("tenant_ticks_per_sec", row.tenant_ticks_per_sec)
+                .field("build_us", row.build_secs * 1e6)
+                .field("run_us", row.run_secs * 1e6);
+        });
+        rows.push(row);
+    }
+
+    let base = rows[0].tenant_ticks_per_sec;
+    let max_row = rows.last().expect("at least one setting");
+    let speedup = max_row.tenant_ticks_per_sec / base;
+    println!(
+        "speedup at {} thread(s) vs 1: {speedup:.2}×",
+        max_row.threads
+    );
+
+    // Hand-rolled JSON (the workspace has no serde); one object per file.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"fleet_throughput\",\n");
+    json.push_str(&format!("  \"profile\": \"{}\",\n", if quick { "quick" } else { "full" }));
+    json.push_str(&format!("  \"tenants\": {tenants},\n"));
+    json.push_str(&format!("  \"ticks_per_tenant\": {},\n", days * 144));
+    json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str(&format!("  \"samples\": {samples},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {}, \"build_secs\": {:.6}, \"run_secs\": {:.6}, \"tenant_ticks_per_sec\": {:.1}}}{}\n",
+            r.threads,
+            r.build_secs,
+            r.run_secs,
+            r.tenant_ticks_per_sec,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"speedup_max_vs_1\": {speedup:.3}\n"));
+    json.push_str("}\n");
+
+    let path = workspace_file("BENCH_fleet.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("[wrote {}]", path.display()),
+        Err(err) => bench_obs().warn("bench", "write_failed", |e| {
+            e.field("path", path.display().to_string()).field("error", err.to_string());
+        }),
+    }
+    bench_obs().flush();
+}
+
+/// A file at the workspace root (`$RPAS_RESULTS_DIR` overrides, as for
+/// the CSV artifacts).
+fn workspace_file(name: &str) -> std::path::PathBuf {
+    if let Ok(dir) = std::env::var("RPAS_RESULTS_DIR") {
+        return std::path::PathBuf::from(dir).join(name);
+    }
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .map(std::path::PathBuf::from)
+        .map(|p| p.parent().and_then(|p| p.parent()).map(|p| p.to_path_buf()).unwrap_or(p))
+        .unwrap_or_else(|_| std::path::PathBuf::from("."));
+    root.join(name)
+}

@@ -1,0 +1,539 @@
+//! The fleet engine: many independent auto-scaling loops behind one
+//! control plane.
+//!
+//! The paper evaluates one database at a time; the production setting it
+//! targets is a *fleet* — thousands of instances, each with its own
+//! trace, forecaster state, and scaling loop, sharing one scheduler and
+//! one hardware budget. This module expresses that shape: a
+//! [`TenantSpec`] describes one tenant (trace seed, replan schedule,
+//! policy choice, θ, optional fault profile), a [`TenantRun`] holds its
+//! live state (fitted forecaster, policy ladder, steppable
+//! [`SimSession`]), and a [`FleetEngine`] advances all tenants one
+//! decision tick at a time by fanning tenant steps over the shared
+//! worker pool (`rpas-par`).
+//!
+//! Determinism contract: every tenant derives its trace and fault seeds
+//! from the fleet seed via `child_seed`, tenants never share mutable
+//! state, and the pool preserves tenant order — so fleet results are
+//! byte-identical for any `RPAS_THREADS`, including the captured
+//! tenant-scoped event log (timing fields are stripped at serialization
+//! time; see [`FleetReport::trace_lines`]).
+
+use crate::autoscaler::{QuantilePredictivePolicy, ReplanSchedule};
+use crate::manager::{RobustAutoScalingManager, ScalingStrategy};
+use crate::reactive::ReactiveMax;
+use crate::resilient::{ResilienceConfig, ResilientManager};
+use rpas_forecast::{Forecaster, SeasonalNaive};
+use rpas_obs::{Event, MemorySink, Obs};
+use rpas_par::{par_for_each_mut, par_map};
+use rpas_simdb::{
+    fleet_qos, tenant_qos, FaultConfig, FaultPlan, FleetQos, ScalingPolicy, SimConfig,
+    SimSession, SimulationReport, TenantQos,
+};
+use rpas_traces::{alibaba_like, google_like, Trace};
+use rpas_tsmath::rng::child_seed;
+
+/// Identity of one tenant within a fleet (dense, 0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u32);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{:04}", self.0)
+    }
+}
+
+/// Which synthetic workload family a tenant replays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePreset {
+    /// Alibaba-like daily-periodic CPU trace.
+    Alibaba,
+    /// Google-like burstier CPU trace.
+    Google,
+}
+
+impl TracePreset {
+    /// Stable lower-case name (CLI flag value and report label).
+    pub fn name(self) -> &'static str {
+        match self {
+            TracePreset::Alibaba => "alibaba",
+            TracePreset::Google => "google",
+        }
+    }
+
+    /// Parse a CLI flag value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "alibaba" => Some(TracePreset::Alibaba),
+            "google" => Some(TracePreset::Google),
+            _ => None,
+        }
+    }
+
+    fn build(self, seed: u64, days: usize) -> Trace {
+        match self {
+            TracePreset::Alibaba => alibaba_like(seed, days).cpu().clone(),
+            TracePreset::Google => google_like(seed, days).cpu().clone(),
+        }
+    }
+}
+
+/// Which scaling policy a tenant runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantPolicyKind {
+    /// Reactive-Max baseline (Autopilot-like moving-window scaler).
+    ReactiveMax,
+    /// Robust predictive policy: seasonal-naive quantile forecaster +
+    /// robust manager, replanning on the tenant's schedule.
+    Predictive,
+    /// The predictive policy wrapped in the graceful-degradation ladder
+    /// ([`ResilientManager`]): predictive → seasonal-naive → reactive.
+    Resilient,
+}
+
+impl TenantPolicyKind {
+    /// Stable lower-case name (CLI flag value and report label).
+    pub fn name(self) -> &'static str {
+        match self {
+            TenantPolicyKind::ReactiveMax => "reactive-max",
+            TenantPolicyKind::Predictive => "predictive",
+            TenantPolicyKind::Resilient => "resilient",
+        }
+    }
+
+    /// Parse a CLI flag value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "reactive-max" => Some(TenantPolicyKind::ReactiveMax),
+            "predictive" => Some(TenantPolicyKind::Predictive),
+            "resilient" => Some(TenantPolicyKind::Resilient),
+            _ => None,
+        }
+    }
+}
+
+/// Everything needed to (re)build one tenant deterministically.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Tenant identity (position in the fleet).
+    pub id: TenantId,
+    /// Workload family.
+    pub preset: TracePreset,
+    /// Seed for the tenant's synthetic trace (a fleet-seed child).
+    pub trace_seed: u64,
+    /// Trace length in days.
+    pub days: usize,
+    /// Scaling threshold θ (max average workload per node).
+    pub theta: f64,
+    /// Minimum pool size.
+    pub min_nodes: u32,
+    /// Robust quantile τ for the predictive manager.
+    pub tau: f64,
+    /// Replan schedule; `context` doubles as the seasonal period of the
+    /// tenant's forecaster.
+    pub schedule: ReplanSchedule,
+    /// Scaling policy choice.
+    pub policy: TenantPolicyKind,
+    /// Tuning for the resilience ladder (used by `Resilient` tenants).
+    pub resilience: ResilienceConfig,
+    /// Optional fault injection: config plus the tenant's fault seed
+    /// (another fleet-seed child).
+    pub faults: Option<(FaultConfig, u64)>,
+}
+
+/// Fleet-level configuration: the grid from which per-tenant specs are
+/// derived. Policies and presets are assigned round-robin over the
+/// tenant index, and every per-tenant seed is a `child_seed` of the
+/// fleet seed — two fleets with the same config are identical.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of tenants.
+    pub tenants: usize,
+    /// Fleet seed; every tenant seed derives from it.
+    pub seed: u64,
+    /// Trace length in days (shared by all tenants).
+    pub days: usize,
+    /// Scaling threshold θ (shared).
+    pub theta: f64,
+    /// Minimum pool size (shared).
+    pub min_nodes: u32,
+    /// Robust quantile τ (shared).
+    pub tau: f64,
+    /// Replan schedule (shared; `context` = seasonal period).
+    pub schedule: ReplanSchedule,
+    /// Policy mix, cycled over tenants.
+    pub policies: Vec<TenantPolicyKind>,
+    /// Workload mix, cycled over tenants.
+    pub presets: Vec<TracePreset>,
+    /// Resilience-ladder tuning for `Resilient` tenants.
+    pub resilience: ResilienceConfig,
+    /// Optional fault injection applied to every tenant (each with its
+    /// own child seed).
+    pub faults: Option<FaultConfig>,
+    /// Capture per-tenant obs events in memory for a deterministic
+    /// tenant-scoped trace (see [`FleetReport::trace_lines`]).
+    pub capture_events: bool,
+}
+
+impl FleetConfig {
+    /// A small default fleet: `tenants` tenants over 4-day traces, θ=60,
+    /// the full policy mix over both workload families, no faults.
+    pub fn new(tenants: usize, seed: u64) -> Self {
+        Self {
+            tenants,
+            seed,
+            days: 4,
+            theta: 60.0,
+            min_nodes: 1,
+            tau: 0.9,
+            schedule: ReplanSchedule { context: 144, horizon: 72 },
+            policies: vec![
+                TenantPolicyKind::Predictive,
+                TenantPolicyKind::Resilient,
+                TenantPolicyKind::ReactiveMax,
+            ],
+            presets: vec![TracePreset::Alibaba, TracePreset::Google],
+            resilience: ResilienceConfig::default(),
+            faults: None,
+            capture_events: false,
+        }
+    }
+
+    /// Expand the grid into one spec per tenant.
+    ///
+    /// # Panics
+    /// Panics on an empty fleet, an empty policy/preset mix, or a
+    /// degenerate schedule.
+    pub fn specs(&self) -> Vec<TenantSpec> {
+        assert!(self.tenants > 0, "a fleet needs at least one tenant");
+        assert!(!self.policies.is_empty(), "policy mix must not be empty");
+        assert!(!self.presets.is_empty(), "preset mix must not be empty");
+        assert!(
+            self.schedule.context > 0 && self.schedule.horizon > 0,
+            "degenerate schedule"
+        );
+        (0..self.tenants)
+            .map(|i| TenantSpec {
+                id: TenantId(i as u32),
+                preset: self.presets[i % self.presets.len()],
+                // Even/odd children keep trace and fault streams disjoint.
+                trace_seed: child_seed(self.seed, 2 * i as u64),
+                days: self.days,
+                theta: self.theta,
+                min_nodes: self.min_nodes,
+                tau: self.tau,
+                schedule: self.schedule,
+                policy: self.policies[i % self.policies.len()],
+                resilience: self.resilience,
+                faults: self
+                    .faults
+                    .clone()
+                    .map(|fc| (fc, child_seed(self.seed, 2 * i as u64 + 1))),
+            })
+            .collect()
+    }
+}
+
+/// One tenant's live state: its spec, its scaling policy (with any fitted
+/// forecaster inside), its steppable simulation, and the optional event
+/// capture.
+pub struct TenantRun {
+    spec: TenantSpec,
+    policy: Box<dyn ScalingPolicy + Send>,
+    session: SimSession,
+    capture: Option<MemorySink>,
+}
+
+impl TenantRun {
+    /// Build one tenant from its spec: generate the trace, fit the
+    /// forecaster on the first half (tenants with too little history
+    /// degrade to the reactive bootstrap), assemble the policy, and open
+    /// the simulation session.
+    pub fn build(spec: &TenantSpec) -> Self {
+        Self::build_inner(spec, false)
+    }
+
+    fn build_inner(spec: &TenantSpec, capture_events: bool) -> Self {
+        let trace = spec.preset.build(spec.trace_seed, spec.days);
+        let (capture, obs) = if capture_events {
+            let mem = MemorySink::new();
+            let obs = Obs::with_sink(Box::new(mem.clone()));
+            (Some(mem), obs)
+        } else {
+            (None, Obs::noop())
+        };
+
+        let make_predictive = || {
+            let mut fc = SeasonalNaive::new(spec.schedule.context);
+            // A trace shorter than one season leaves the forecaster
+            // unfitted; the policy then serves from its reactive
+            // bootstrap (and a Resilient wrapper demotes it).
+            let _ = fc.fit(&trace.values[..trace.len() / 2]);
+            let manager =
+                RobustAutoScalingManager::new(spec.theta, spec.min_nodes, ScalingStrategy::Fixed {
+                    tau: spec.tau,
+                })
+                .with_obs(obs.clone());
+            QuantilePredictivePolicy::new("predictive", fc, manager, spec.schedule)
+        };
+        let policy: Box<dyn ScalingPolicy + Send> = match spec.policy {
+            TenantPolicyKind::ReactiveMax => Box::new(ReactiveMax::new(6)),
+            TenantPolicyKind::Predictive => Box::new(make_predictive()),
+            TenantPolicyKind::Resilient => Box::new(
+                ResilientManager::with_config(make_predictive(), spec.resilience)
+                    .with_obs(obs.clone()),
+            ),
+        };
+
+        let cfg = SimConfig {
+            theta: spec.theta,
+            min_nodes: spec.min_nodes,
+            ..SimConfig::default()
+        };
+        let mut session = SimSession::new(&trace, cfg).with_obs(obs);
+        if let Some((fc, fault_seed)) = &spec.faults {
+            session =
+                session.with_faults(FaultPlan::build(fc.clone(), *fault_seed, trace.len()));
+        }
+        Self { spec: spec.clone(), policy, session, capture }
+    }
+
+    /// The tenant's spec.
+    pub fn spec(&self) -> &TenantSpec {
+        &self.spec
+    }
+
+    /// Decision ticks executed so far.
+    pub fn ticks_done(&self) -> usize {
+        self.session.records().len()
+    }
+
+    /// Whether the tenant's trace is exhausted.
+    pub fn is_done(&self) -> bool {
+        self.session.is_done()
+    }
+}
+
+/// Summary of one finished tenant inside a [`FleetReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSummary {
+    /// Tenant identity.
+    pub id: TenantId,
+    /// Workload family label.
+    pub preset: &'static str,
+    /// Configured policy label.
+    pub policy: &'static str,
+    /// Quality of service vs the clairvoyant allocation.
+    pub qos: TenantQos,
+    /// Faults applied to this tenant (0 without fault injection).
+    pub faults_applied: u64,
+}
+
+/// The outcome of a fleet run: per-tenant summaries (in tenant order),
+/// the fleet QoS aggregate, and — when event capture was on — the
+/// deterministic tenant-scoped trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// One summary per tenant, in tenant-id order.
+    pub tenants: Vec<TenantSummary>,
+    /// Fleet-level aggregate.
+    pub qos: FleetQos,
+    /// Schema-v1 JSONL lines of every captured tenant event, in tenant
+    /// order, with a `tenant` field added and all timing stripped
+    /// (`seq` renumbered, `ts_us`/`wall_us`/`*_us` removed) — so the
+    /// trace is byte-identical across reruns and thread counts. Empty
+    /// when `capture_events` was off.
+    pub trace_lines: Vec<String>,
+}
+
+impl FleetReport {
+    /// Tenant indices sorted by descending regret (worst offenders
+    /// first; ties broken by tenant id for determinism).
+    pub fn worst_by_regret(&self, n: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.tenants.len()).collect();
+        idx.sort_by_key(|&i| {
+            (std::cmp::Reverse(self.tenants[i].qos.regret_node_steps), self.tenants[i].id)
+        });
+        idx.truncate(n);
+        idx
+    }
+}
+
+/// Serialize one captured event as a deterministic, tenant-scoped
+/// schema-v1 JSONL line.
+fn sanitize_event(ev: &Event, id: TenantId, seq: u64) -> String {
+    let mut ev = ev.clone();
+    ev.seq = seq;
+    ev.ts_us = 0;
+    ev.wall_us = None;
+    ev.fields.retain(|k, _| !k.ends_with("_us"));
+    ev.field("tenant", id.to_string());
+    ev.to_json()
+}
+
+/// A fleet of tenants advanced in lockstep over the shared worker pool.
+pub struct FleetEngine {
+    runs: Vec<TenantRun>,
+}
+
+impl FleetEngine {
+    /// Build every tenant of the fleet (fanned over the worker pool —
+    /// trace generation and forecaster fitting dominate; each tenant is
+    /// a pure function of its spec, so build order does not matter).
+    pub fn new(cfg: &FleetConfig) -> Self {
+        let specs = cfg.specs();
+        let capture = cfg.capture_events;
+        let runs = par_map(&specs, |spec| TenantRun::build_inner(spec, capture));
+        Self { runs }
+    }
+
+    /// Number of tenants.
+    pub fn tenants(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Access the tenant runs (tenant-id order).
+    pub fn runs(&self) -> &[TenantRun] {
+        &self.runs
+    }
+
+    /// Advance every unfinished tenant by one decision tick, fanning the
+    /// steps over the worker pool. Returns the number of tenants that
+    /// stepped (0 when the whole fleet is done).
+    pub fn tick(&mut self) -> usize {
+        let stepped = std::sync::atomic::AtomicUsize::new(0);
+        par_for_each_mut(&mut self.runs, |_, run| {
+            if run.session.step(run.policy.as_mut()) {
+                stepped.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        });
+        stepped.into_inner()
+    }
+
+    /// Drive every tenant to the end of its trace. Equivalent to calling
+    /// [`FleetEngine::tick`] until it returns 0, but each tenant's whole
+    /// remaining run is one pool job (no per-tick fan-out overhead).
+    pub fn run_to_completion(&mut self) {
+        par_for_each_mut(&mut self.runs, |_, run| {
+            while run.session.step(run.policy.as_mut()) {}
+        });
+    }
+
+    /// Finish every tenant's session and aggregate the fleet report.
+    /// Unfinished tenants are scored on their executed prefix.
+    pub fn finish(self) -> FleetReport {
+        let mut tenants = Vec::with_capacity(self.runs.len());
+        let mut trace_lines = Vec::new();
+        let mut seq = 0u64;
+        for run in self.runs {
+            let TenantRun { spec, policy, session, capture } = run;
+            let report: SimulationReport = session.finish(policy.name());
+            if let Some(mem) = capture {
+                for ev in mem.events() {
+                    trace_lines.push(sanitize_event(&ev, spec.id, seq));
+                    seq += 1;
+                }
+            }
+            tenants.push(TenantSummary {
+                id: spec.id,
+                preset: spec.preset.name(),
+                policy: spec.policy.name(),
+                qos: tenant_qos(&report, spec.theta, spec.min_nodes),
+                faults_applied: report.faults.total(),
+            });
+        }
+        let qos = fleet_qos(
+            &tenants.iter().map(|t| t.qos.clone()).collect::<Vec<_>>(),
+        );
+        FleetReport { tenants, qos, trace_lines }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> FleetConfig {
+        let mut cfg = FleetConfig::new(6, 11);
+        cfg.days = 2;
+        cfg.schedule = ReplanSchedule { context: 48, horizon: 24 };
+        cfg
+    }
+
+    #[test]
+    fn specs_cycle_policies_and_presets_with_distinct_seeds() {
+        let cfg = small_cfg();
+        let specs = cfg.specs();
+        assert_eq!(specs.len(), 6);
+        assert_eq!(specs[0].policy, TenantPolicyKind::Predictive);
+        assert_eq!(specs[1].policy, TenantPolicyKind::Resilient);
+        assert_eq!(specs[2].policy, TenantPolicyKind::ReactiveMax);
+        assert_eq!(specs[0].preset, TracePreset::Alibaba);
+        assert_eq!(specs[1].preset, TracePreset::Google);
+        let mut seeds: Vec<u64> = specs.iter().map(|s| s.trace_seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 6, "child seeds must be distinct");
+    }
+
+    #[test]
+    fn fleet_run_is_deterministic_across_reruns() {
+        let mut cfg = small_cfg();
+        cfg.capture_events = true;
+        cfg.faults = Some(FaultConfig::light());
+        let run = || {
+            let mut engine = FleetEngine::new(&cfg);
+            engine.run_to_completion();
+            engine.finish()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(!a.trace_lines.is_empty(), "capture must record events");
+        // Tenant-scoped, timing-free lines.
+        assert!(a.trace_lines[0].contains("\"tenant\":\"t0000\""), "{}", a.trace_lines[0]);
+        assert!(a.trace_lines.iter().all(|l| l.contains("\"ts_us\":0")));
+    }
+
+    #[test]
+    fn tick_matches_run_to_completion() {
+        let cfg = small_cfg();
+        let mut a = FleetEngine::new(&cfg);
+        let mut b = FleetEngine::new(&cfg);
+        a.run_to_completion();
+        let mut ticks = 0usize;
+        while b.tick() > 0 {
+            ticks += 1;
+        }
+        assert_eq!(ticks, 2 * 144, "one tick per trace step");
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn faulted_tenants_report_fault_counts() {
+        let mut cfg = small_cfg();
+        cfg.faults = Some(FaultConfig::heavy());
+        let mut engine = FleetEngine::new(&cfg);
+        engine.run_to_completion();
+        let report = engine.finish();
+        assert!(report.tenants.iter().any(|t| t.faults_applied > 0));
+        assert_eq!(report.qos.tenants, 6);
+        assert_eq!(report.qos.total_steps, 6 * 2 * 144);
+    }
+
+    #[test]
+    fn worst_by_regret_orders_descending() {
+        let cfg = small_cfg();
+        let mut engine = FleetEngine::new(&cfg);
+        engine.run_to_completion();
+        let report = engine.finish();
+        let worst = report.worst_by_regret(3);
+        assert_eq!(worst.len(), 3);
+        for w in worst.windows(2) {
+            assert!(
+                report.tenants[w[0]].qos.regret_node_steps
+                    >= report.tenants[w[1]].qos.regret_node_steps
+            );
+        }
+    }
+}

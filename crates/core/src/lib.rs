@@ -33,6 +33,7 @@ pub mod adaptive;
 pub mod autoscaler;
 pub mod backtest;
 pub mod eval;
+pub mod fleet;
 pub mod manager;
 pub mod multi;
 pub mod plan;
@@ -52,6 +53,10 @@ pub use backtest::{backtest_quantile, backtest_quantile_obs, BacktestReport, Bac
 pub use eval::{
     evaluate_plans_point, evaluate_plans_precomputed, evaluate_plans_quantile, evaluate_reactive,
     forecast_windows,
+};
+pub use fleet::{
+    FleetConfig, FleetEngine, FleetReport, TenantId, TenantPolicyKind, TenantRun, TenantSpec,
+    TenantSummary, TracePreset,
 };
 pub use manager::{PlanningBackend, RobustAutoScalingManager, ScalingStrategy};
 pub use multi::{plan_multi_resource, MultiResourcePlan, ResourceDimension};

@@ -146,6 +146,37 @@ mod tests {
     }
 
     #[test]
+    fn binding_ties_go_to_earliest_input_dimension() {
+        // Both resources need exactly 2 nodes at the only step:
+        // CPU ceil(110/60) = 2, memory ceil(390/200) = 2.
+        let cpu_f = qf(&[vec![100.0, 110.0]]);
+        let mem_f = qf(&[vec![350.0, 390.0]]);
+        let cpu_m = RobustAutoScalingManager::new(60.0, 1, ScalingStrategy::Fixed { tau: 0.9 });
+        let mem_m = RobustAutoScalingManager::new(200.0, 1, ScalingStrategy::Fixed { tau: 0.9 });
+        let cpu = ResourceDimension { kind: ResourceKind::Cpu, forecast: &cpu_f, manager: &cpu_m };
+        let mem =
+            ResourceDimension { kind: ResourceKind::Memory, forecast: &mem_f, manager: &mem_m };
+
+        let cpu_first = plan_multi_resource(&[
+            ResourceDimension { ..cpu },
+            ResourceDimension { ..mem },
+        ]);
+        assert_eq!(cpu_first.combined.as_slice(), &[2]);
+        assert_eq!(cpu_first.binding_resource(0), ResourceKind::Cpu);
+
+        // Reversing the input order flips the winner: the tie-break is
+        // input position, not resource identity.
+        let mem_first = plan_multi_resource(&[mem, cpu]);
+        assert_eq!(mem_first.combined.as_slice(), &[2]);
+        assert_eq!(mem_first.binding_resource(0), ResourceKind::Memory);
+
+        // Both tied dimensions count as binding in the fractions view.
+        for (_, f) in mem_first.binding_fractions() {
+            assert!((f - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "share one horizon")]
     fn mismatched_horizons_rejected() {
         let a = qf(&[vec![1.0, 2.0]]);

@@ -1,0 +1,243 @@
+//! # rpas-par
+//!
+//! Deterministic seed fan-out over a `std::thread::scope` worker pool.
+//!
+//! Callers repeat expensive work per independent unit — the experiment
+//! binaries per training seed (Table I averages three runs; the figure
+//! and ablation binaries sweep strategies over independently-trained
+//! models), the fleet engine per tenant. Each job derives its own RNG
+//! from its index, so jobs are independent and the *result* is a pure
+//! function of the index — which lets the pool run them in any order on
+//! any number of threads while the returned `Vec` stays in job order,
+//! byte-identical to a single-threaded run.
+//!
+//! Thread count: `min(RPAS_THREADS or available_parallelism, jobs)`.
+//! Setting `RPAS_THREADS=1` forces a sequential run (useful to confirm
+//! seed-determinism of a parallel binary). A set-but-unusable override
+//! (unparsable or zero) is ignored in favour of the hardware count, and
+//! reported once per process as a `warn` obs event so misconfigured runs
+//! are visible (see [`thread_override`] for the inspectable form).
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, Once};
+
+/// How the `RPAS_THREADS` environment override was interpreted.
+///
+/// This is the pool's debug info: [`worker_count`] consults the same
+/// classification, so a caller (or a test) can see exactly why a given
+/// thread count was chosen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreadOverride {
+    /// `RPAS_THREADS` is not set; the hardware parallelism is used.
+    Unset,
+    /// `RPAS_THREADS` is a positive integer and caps the pool at this.
+    Forced(usize),
+    /// `RPAS_THREADS` is set but unusable (unparsable or zero); it is
+    /// ignored in favour of the hardware count and reported via a
+    /// single `warn` obs event.
+    Ignored {
+        /// The raw value that could not be used.
+        raw: String,
+    },
+}
+
+/// Classify the current `RPAS_THREADS` setting without side effects.
+pub fn thread_override() -> ThreadOverride {
+    match std::env::var("RPAS_THREADS") {
+        Err(_) => ThreadOverride::Unset,
+        Ok(raw) => match raw.parse::<usize>() {
+            Ok(n) if n > 0 => ThreadOverride::Forced(n),
+            _ => ThreadOverride::Ignored { raw },
+        },
+    }
+}
+
+/// Report an ignored `RPAS_THREADS` override once per process.
+fn warn_ignored_override(raw: &str) {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        rpas_obs::Obs::from_env().warn("par", "threads_override_ignored", |e| {
+            e.field("raw", raw).field("expected", "positive integer");
+        });
+    });
+}
+
+/// Worker threads to use for `jobs` independent jobs: the smaller of the
+/// machine's parallelism (or the `RPAS_THREADS` override) and the job
+/// count, and at least 1.
+pub fn worker_count(jobs: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cap = match thread_override() {
+        ThreadOverride::Unset => hw,
+        ThreadOverride::Forced(n) => n,
+        ThreadOverride::Ignored { raw } => {
+            warn_ignored_override(&raw);
+            hw
+        }
+    };
+    cap.min(jobs).max(1)
+}
+
+/// Run `f(0), f(1), …, f(jobs-1)` on a scoped worker pool and return the
+/// results in index order.
+///
+/// `f` must be a pure function of its index (derive per-job seeds from
+/// the index, e.g. via `rpas_tsmath::rng::child_seed`); then the output
+/// is identical for every thread count.
+///
+/// # Panics
+/// Propagates a panic from any job (the scope joins all workers first).
+pub fn par_map_indexed<T, F>(jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs == 0 {
+        return Vec::new();
+    }
+    let workers = worker_count(jobs);
+    if workers == 1 {
+        return (0..jobs).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let out = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner().expect("result slot poisoned").expect("worker filled every slot")
+        })
+        .collect()
+}
+
+/// [`par_map_indexed`] over a slice: `f` is applied to every item, results
+/// in item order.
+pub fn par_map<I, T, F>(items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    par_map_indexed(items.len(), |i| f(&items[i]))
+}
+
+/// Apply `f(i, &mut items[i])` to every item in place, fanning the items
+/// over the worker pool.
+///
+/// Each worker takes exclusive ownership of one item at a time (the
+/// `&mut` references are disjoint by construction), so `f` may freely
+/// mutate its item; as with [`par_map_indexed`], `f` must depend only on
+/// the index and the item itself for the result to be identical at every
+/// thread count. This is the primitive behind the fleet engine's tick:
+/// each tenant's state advances independently under its own child seed.
+///
+/// # Panics
+/// Propagates a panic from any job (the scope joins all workers first).
+pub fn par_for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let jobs = items.len();
+    if jobs == 0 {
+        return;
+    }
+    let workers = worker_count(jobs);
+    if workers == 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<&mut T>> = items.iter_mut().map(Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let mut guard = slots[i].lock().expect("item slot poisoned");
+                f(i, &mut guard);
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_job_order() {
+        let out = par_map_indexed(64, |i| i * i);
+        assert_eq!(out, (0..64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_job() {
+        assert!(par_map_indexed(0, |i| i).is_empty());
+        assert_eq!(par_map_indexed(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn slice_variant_maps_items() {
+        let items = ["a", "bb", "ccc"];
+        assert_eq!(par_map(&items, |s| s.len()), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn matches_sequential_for_seeded_work() {
+        // The contract behind seed-determinism of the parallel binaries:
+        // parallel output == sequential output, element for element.
+        let job = |i: usize| {
+            let mut r = rpas_tsmath::rng::seeded(rpas_tsmath::rng::child_seed(42, i as u64));
+            (0..100).map(|_| rpas_tsmath::rng::uniform(&mut r)).sum::<f64>()
+        };
+        let par: Vec<f64> = par_map_indexed(16, job);
+        let seq: Vec<f64> = (0..16).map(job).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn worker_count_respects_job_cap() {
+        assert_eq!(worker_count(1), 1);
+        assert!(worker_count(usize::MAX) >= 1);
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_item_once() {
+        let mut items: Vec<usize> = (0..64).collect();
+        par_for_each_mut(&mut items, |i, v| {
+            assert_eq!(*v, i);
+            *v += 1000 + i;
+        });
+        assert_eq!(items, (0..64).map(|i| 2 * i + 1000).collect::<Vec<_>>());
+        let mut empty: Vec<usize> = Vec::new();
+        par_for_each_mut(&mut empty, |_, _| unreachable!());
+    }
+
+    #[test]
+    #[should_panic]
+    fn job_panic_propagates() {
+        let _ = par_map_indexed(8, |i| {
+            if i == 5 {
+                panic!("job 5 failed");
+            }
+            i
+        });
+    }
+}

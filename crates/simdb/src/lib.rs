@@ -22,6 +22,7 @@
 
 pub mod cluster;
 pub mod faults;
+pub mod fleet;
 pub mod node;
 pub mod policy;
 pub mod qos;
@@ -32,12 +33,13 @@ pub mod warmup;
 
 pub use cluster::Cluster;
 pub use faults::{recovery_stats, AnomalyKind, FaultConfig, FaultCounts, FaultPlan, RecoveryStats};
+pub use fleet::{fleet_qos, tenant_qos, FleetQos, TenantQos};
 pub use node::{ComputeNode, NodeId, NodeState};
 pub use policy::{
     FixedPolicy, Observation, OraclePolicy, PolicyHealth, ScaleOutcome, ScalingPolicy,
 };
 pub use qos::{slo_report, LatencyModel, SloReport};
 pub use report::{SimulationReport, StepRecord};
-pub use simulator::{SimConfig, Simulation};
+pub use simulator::{SimConfig, SimSession, Simulation};
 pub use storage::SharedStorage;
 pub use warmup::WarmupModel;

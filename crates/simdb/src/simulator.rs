@@ -1,5 +1,11 @@
 //! The discrete-time simulation loop tying workload, cluster, and policy
 //! together.
+//!
+//! Two entry points share one implementation: [`Simulation::run`] drives a
+//! policy over a whole trace in one call (the original single-series
+//! API), and [`SimSession`] exposes the same loop one decision tick at a
+//! time so a fleet engine can interleave many independent sessions (each
+//! tenant owns a `SimSession`; see `rpas_core::fleet`).
 
 use crate::cluster::Cluster;
 use crate::faults::{recovery_stats, FaultCounts, FaultPlan};
@@ -100,130 +106,244 @@ impl<'a> Simulation<'a> {
     /// (`metrics_fresh: false`), scale actions can be rejected or delayed
     /// (surfaced as [`ScaleOutcome`] on the next observation), and node
     /// crashes shrink the pool before capacity accounting.
+    ///
+    /// This delegates to a [`SimSession`] stepped to completion, so the
+    /// whole-trace and tick-at-a-time APIs cannot drift apart.
     pub fn run<P: ScalingPolicy + ?Sized>(&self, policy: &mut P) -> SimulationReport {
-        let storage = Arc::new(SharedStorage::new(self.cfg.checkpoint_gb));
-        let mut cluster = Cluster::new(self.cfg.min_nodes, self.cfg.warmup, storage);
-        let dt = self.trace.interval_secs as f64;
-        let base = self.trace.as_slice();
-        let fp = self.faults.as_ref();
-        // Realised workload: anomaly bursts layered on the base trace.
-        let w: Vec<f64> = match fp {
-            Some(p) => base.iter().enumerate().map(|(t, &x)| x * p.anomaly_mult_at(t)).collect(),
-            None => base.to_vec(),
-        };
+        let mut session =
+            SimSession::new(self.trace, self.cfg).with_obs(self.obs.clone());
+        if let Some(plan) = &self.faults {
+            session = session.with_faults(plan.clone());
+        }
+        while session.step(policy) {}
+        session.finish(policy.name())
+    }
+}
 
-        let mut counts = FaultCounts::default();
-        let mut visible = 0usize; // prefix of `w` the metric pipeline has delivered
-        let mut last_scale = ScaleOutcome::NoChange;
-        let mut steps = Vec::with_capacity(w.len());
-        for (t, &workload) in w.iter().enumerate() {
-            let fresh = !fp.is_some_and(|p| p.dropout_at(t));
-            if fresh {
-                visible = t;
-            } else {
-                counts.metric_dropout += 1;
-                self.obs.info("fault", "metric_dropout", |e| {
-                    e.field("step", t).field("stale_after", visible);
-                });
-            }
-            if let Some(p) = fp {
-                let m = p.anomaly_mult_at(t);
-                if m != 1.0 {
-                    counts.anomaly_steps += 1;
-                    self.obs.info("fault", "anomaly", |e| {
-                        e.field("step", t)
-                            .field("mult", m)
-                            .field("burst", p.anomaly_kind_at(t).label());
-                    });
-                }
-            }
-            let obs = Observation {
-                step: t,
-                history: &w[..visible],
-                current_nodes: cluster.size(),
-                theta: self.cfg.theta,
-                min_nodes: self.cfg.min_nodes,
-                metrics_fresh: fresh,
-                last_scale,
-            };
-            let target = policy.decide(&obs).clamp(self.cfg.min_nodes, self.cfg.max_nodes);
-            let current = cluster.size();
-            last_scale = if target == current {
-                ScaleOutcome::NoChange
-            } else if fp.is_some_and(|p| p.scale_fail_at(t)) {
-                counts.scale_fail += 1;
-                self.obs.info("fault", "scale_fail", |e| {
-                    e.field("step", t).field("requested", target).field("current", current);
-                });
-                ScaleOutcome::Rejected
-            } else {
-                let delay =
-                    if target > current { fp.map_or(0, |p| p.delay_steps_at(t)) } else { 0 };
-                cluster.scale_to_delayed(target, t, delay as f64 * dt);
-                if delay > 0 {
-                    counts.provision_delay += 1;
-                    self.obs.info("fault", "provision_delay", |e| {
-                        e.field("step", t)
-                            .field("extra_steps", delay)
-                            .field("launched", target - current);
-                    });
-                    ScaleOutcome::Delayed
-                } else {
-                    ScaleOutcome::Applied
-                }
-            };
-            if fp.is_some_and(|p| p.crash_at(t)) {
-                let crashed = cluster.crash(1, t);
-                if crashed > 0 {
-                    counts.node_crash += crashed as u64;
-                    self.obs.info("fault", "node_crash", |e| {
-                        e.field("step", t).field("count", crashed).field("pool", cluster.size());
-                    });
-                }
-            }
-            let pool = cluster.size();
-            let capacity = cluster.tick(dt).max(1e-9);
-            let utilization = workload / capacity;
-            let violation = utilization > self.cfg.theta * (1.0 + 1e-9);
-            self.obs.debug("sim", "step", |e| {
-                e.field("step", t)
-                    .field("workload", workload)
-                    .field("nodes", pool)
-                    .field("utilization", utilization)
-                    .field("violation", violation);
-            });
-            steps.push(StepRecord {
-                step: t,
-                workload,
-                target_nodes: target,
-                pool_nodes: pool,
-                effective_capacity: capacity,
-                utilization,
-                violation,
+/// The simulation loop as a resumable state machine: one [`SimSession`]
+/// is one policy driving one cluster over one realised workload series,
+/// advanced one decision tick at a time with [`SimSession::step`].
+///
+/// Unlike [`Simulation`] it owns its workload (copied from the trace at
+/// construction), so it is `Send` and can be parked in a fleet's tenant
+/// table between ticks.
+pub struct SimSession {
+    cfg: SimConfig,
+    obs: Obs,
+    faults: Option<FaultPlan>,
+    /// Realised workload: anomaly bursts layered on the base trace.
+    w: Vec<f64>,
+    dt: f64,
+    cluster: Cluster,
+    counts: FaultCounts,
+    /// Prefix of `w` the metric pipeline has delivered.
+    visible: usize,
+    last_scale: ScaleOutcome,
+    steps: Vec<StepRecord>,
+    t: usize,
+}
+
+impl SimSession {
+    /// New session over a workload trace. Attach faults/observability
+    /// with the builders *before* the first [`SimSession::step`].
+    ///
+    /// # Panics
+    /// Panics on an empty trace, non-positive `theta`, or `min > max`
+    /// (same contract as [`Simulation::new`]).
+    pub fn new(trace: &Trace, cfg: SimConfig) -> Self {
+        assert!(!trace.is_empty(), "cannot simulate an empty trace");
+        assert!(cfg.theta > 0.0, "theta must be positive");
+        assert!(cfg.min_nodes <= cfg.max_nodes, "min_nodes must not exceed max_nodes");
+        assert!(cfg.min_nodes >= 1, "a serving cluster needs at least one node");
+        let storage = Arc::new(SharedStorage::new(cfg.checkpoint_gb));
+        let cluster = Cluster::new(cfg.min_nodes, cfg.warmup, storage);
+        let w = trace.as_slice().to_vec();
+        Self {
+            cfg,
+            obs: Obs::noop(),
+            faults: None,
+            dt: trace.interval_secs as f64,
+            steps: Vec::with_capacity(w.len()),
+            w,
+            cluster,
+            counts: FaultCounts::default(),
+            visible: 0,
+            last_scale: ScaleOutcome::NoChange,
+            t: 0,
+        }
+    }
+
+    /// Builder: attach an observability handle (see
+    /// [`Simulation::with_obs`] for the events emitted).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Builder: inject faults from a precomputed [`FaultPlan`]; the
+    /// realised workload is re-derived with the plan's anomaly bursts.
+    ///
+    /// # Panics
+    /// Panics if the plan was built for a different number of steps, or
+    /// if the session has already been stepped.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        assert_eq!(plan.len(), self.w.len(), "fault plan length must match the trace");
+        assert_eq!(self.t, 0, "faults must be attached before the first step");
+        for (t, x) in self.w.iter_mut().enumerate() {
+            *x *= plan.anomaly_mult_at(t);
+        }
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Number of decision ticks in the whole run.
+    pub fn len(&self) -> usize {
+        self.w.len()
+    }
+
+    /// True when every tick has been executed (`step` would be a no-op).
+    pub fn is_done(&self) -> bool {
+        self.t >= self.w.len()
+    }
+
+    /// Never empty: construction rejects empty traces.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Step records produced so far (one per executed tick).
+    pub fn records(&self) -> &[StepRecord] {
+        &self.steps
+    }
+
+    /// Execute one decision tick: the policy observes realised history,
+    /// picks a target, the cluster scales (subject to fault injection),
+    /// time advances one interval, and the workload is accounted against
+    /// effective capacity. Returns `false` once the trace is exhausted.
+    pub fn step<P: ScalingPolicy + ?Sized>(&mut self, policy: &mut P) -> bool {
+        if self.is_done() {
+            return false;
+        }
+        let t = self.t;
+        let workload = self.w[t];
+        let fp = self.faults.as_ref();
+        let fresh = !fp.is_some_and(|p| p.dropout_at(t));
+        if fresh {
+            self.visible = t;
+        } else {
+            self.counts.metric_dropout += 1;
+            let visible = self.visible;
+            self.obs.info("fault", "metric_dropout", |e| {
+                e.field("step", t).field("stale_after", visible);
             });
         }
+        if let Some(p) = fp {
+            let m = p.anomaly_mult_at(t);
+            if m != 1.0 {
+                self.counts.anomaly_steps += 1;
+                self.obs.info("fault", "anomaly", |e| {
+                    e.field("step", t)
+                        .field("mult", m)
+                        .field("burst", p.anomaly_kind_at(t).label());
+                });
+            }
+        }
+        let obs = Observation {
+            step: t,
+            history: &self.w[..self.visible],
+            current_nodes: self.cluster.size(),
+            theta: self.cfg.theta,
+            min_nodes: self.cfg.min_nodes,
+            metrics_fresh: fresh,
+            last_scale: self.last_scale,
+        };
+        let target = policy.decide(&obs).clamp(self.cfg.min_nodes, self.cfg.max_nodes);
+        let current = self.cluster.size();
+        self.last_scale = if target == current {
+            ScaleOutcome::NoChange
+        } else if fp.is_some_and(|p| p.scale_fail_at(t)) {
+            self.counts.scale_fail += 1;
+            self.obs.info("fault", "scale_fail", |e| {
+                e.field("step", t).field("requested", target).field("current", current);
+            });
+            ScaleOutcome::Rejected
+        } else {
+            let delay = if target > current { fp.map_or(0, |p| p.delay_steps_at(t)) } else { 0 };
+            self.cluster.scale_to_delayed(target, t, delay as f64 * self.dt);
+            if delay > 0 {
+                self.counts.provision_delay += 1;
+                self.obs.info("fault", "provision_delay", |e| {
+                    e.field("step", t)
+                        .field("extra_steps", delay)
+                        .field("launched", target - current);
+                });
+                ScaleOutcome::Delayed
+            } else {
+                ScaleOutcome::Applied
+            }
+        };
+        if self.faults.as_ref().is_some_and(|p| p.crash_at(t)) {
+            let crashed = self.cluster.crash(1, t);
+            if crashed > 0 {
+                self.counts.node_crash += crashed as u64;
+                let pool = self.cluster.size();
+                self.obs.info("fault", "node_crash", |e| {
+                    e.field("step", t).field("count", crashed).field("pool", pool);
+                });
+            }
+        }
+        let pool = self.cluster.size();
+        let capacity = self.cluster.tick(self.dt).max(1e-9);
+        let utilization = workload / capacity;
+        let violation = utilization > self.cfg.theta * (1.0 + 1e-9);
+        self.obs.debug("sim", "step", |e| {
+            e.field("step", t)
+                .field("workload", workload)
+                .field("nodes", pool)
+                .field("utilization", utilization)
+                .field("violation", violation);
+        });
+        self.steps.push(StepRecord {
+            step: t,
+            workload,
+            target_nodes: target,
+            pool_nodes: pool,
+            effective_capacity: capacity,
+            utilization,
+            violation,
+        });
+        self.t += 1;
+        true
+    }
 
+    /// Close the run: emit the aggregate events and build the
+    /// [`SimulationReport`]. `policy_name` labels the report (callers
+    /// with a live policy pass `policy.name()`).
+    pub fn finish(self, policy_name: &str) -> SimulationReport {
+        let Self { cfg, obs, faults, w, cluster, counts, steps, .. } = self;
+        // Account only the executed prefix, so finishing a partially
+        // stepped session still yields a self-consistent report.
+        let w = &w[..steps.len()];
         let zero_steps = w.iter().filter(|&&x| x <= 0.0).count();
         if zero_steps > 0 {
-            self.obs.warn("sim", "zero_workload", |e| {
+            obs.warn("sim", "zero_workload", |e| {
                 e.field("steps", zero_steps)
                     .field("total", w.len())
-                    .field("policy", policy.name().to_string());
+                    .field("policy", policy_name.to_string());
             });
         }
 
         let allocations: Vec<u32> = steps.iter().map(|s| s.pool_nodes).collect();
-        let provisioning =
-            provisioning_rates(&allocations, &w, self.cfg.theta, self.cfg.min_nodes);
+        let provisioning = provisioning_rates(&allocations, &w, cfg.theta, cfg.min_nodes);
         let violation_rate =
             steps.iter().filter(|s| s.violation).count() as f64 / steps.len() as f64;
-        let recovery = fp.map(|p| {
+        let recovery = faults.as_ref().map(|p| {
             let violations: Vec<bool> = steps.iter().map(|s| s.violation).collect();
             recovery_stats(&violations, p)
         });
 
         let report = SimulationReport {
-            policy: policy.name().to_string(),
+            policy: policy_name.to_string(),
             steps,
             provisioning,
             violation_rate,
@@ -233,8 +353,8 @@ impl<'a> Simulation<'a> {
             faults: counts,
             recovery,
         };
-        if self.obs.enabled(Level::Info) {
-            self.obs.info("sim", "report", |e| {
+        if obs.enabled(Level::Info) {
+            obs.info("sim", "report", |e| {
                 e.field("policy", report.policy.clone())
                     .field("steps", report.steps.len())
                     .field("violation_rate", report.violation_rate)

@@ -102,6 +102,23 @@ echo "$chaos_report" | grep -q "degradation ladder" || {
 }
 echo "ok: fault schedule and resilience ladder reconstruct from the trace"
 
+echo "== fleet thread-count invariance (64 tenants, 1 thread vs default) =="
+RPAS_LOG=off RPAS_THREADS=1 cargo run -q --release --offline --bin cli -- \
+    fleet --tenants 64 --days 2 --trace-out "$trace_tmp/f1.jsonl" \
+    > "$trace_tmp/f1.txt"
+RPAS_LOG=off cargo run -q --release --offline --bin cli -- \
+    fleet --tenants 64 --days 2 --trace-out "$trace_tmp/f2.jsonl" \
+    > "$trace_tmp/f2.txt"
+# The only permitted difference is the echoed --trace-out path.
+diff <(grep -v "tenant-scoped trace events" "$trace_tmp/f1.txt") \
+     <(grep -v "tenant-scoped trace events" "$trace_tmp/f2.txt")
+diff "$trace_tmp/f1.jsonl" "$trace_tmp/f2.jsonl"
+grep -q '"tenant":"t0000"' "$trace_tmp/f1.jsonl" || {
+    echo "ERROR: fleet trace is missing tenant-scoped events" >&2
+    exit 1
+}
+echo "ok: fleet summary and tenant trace independent of thread count"
+
 if [[ "${RPAS_VERIFY_PARALLEL:-0}" == "1" ]]; then
     echo "== table1 thread-count invariance =="
     tmp="$(mktemp -d)"

@@ -11,9 +11,9 @@
 
 use rpas::cli::ParsedArgs;
 use rpas::core::{
-    backtest_quantile_obs, uncertainty_series, AdaptiveConfig, QuantilePredictivePolicy,
-    ReactiveAvg, ReactiveMax, ReplanSchedule, ResilienceConfig, ResilientManager,
-    RobustAutoScalingManager, ScalingStrategy,
+    backtest_quantile_obs, uncertainty_series, AdaptiveConfig, FleetConfig, FleetEngine,
+    QuantilePredictivePolicy, ReactiveAvg, ReactiveMax, ReplanSchedule, ResilienceConfig,
+    ResilientManager, RobustAutoScalingManager, ScalingStrategy, TenantPolicyKind, TracePreset,
 };
 use rpas::forecast::{
     Arima, ArimaConfig, DeepAr, DeepArConfig, Forecaster, HoltWinters, HoltWintersConfig,
@@ -59,6 +59,16 @@ COMMANDS
              --profiles LIST (none,light,heavy; entries may also be
              key=val specs, e.g. scale_fail=0.3,anomaly=0.1)
              --schedule-out FILE  (fault schedules as JSONL)
+  fleet      multi-tenant fleet simulation (per-tenant traces/policies)
+             --tenants N (16)  --seed S (7)  --days N (by profile)
+             --theta T (60)  --min-nodes N (1)  --tau Q (0.9)
+             --context N (144)  --horizon N (72)
+             --policies LIST (predictive,resilient,reactive-max; cycled)
+             --presets LIST (alibaba,google; cycled)
+             --faults none|light|heavy|SPEC (none)
+             --worst N (5)  — tenants listed in the regret table
+             --trace-out FILE  (deterministic tenant-scoped JSONL —
+             unlike other commands, not the live event stream)
   trace-report  summarize a schema-v1 JSONL trace
              --trace FILE
 
@@ -96,8 +106,15 @@ fn run(args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     let a = ParsedArgs::parse(args)?;
     // Every command shares one observability handle: stderr verbosity from
     // RPAS_LOG, plus a schema-v1 JSONL trace when --trace-out (or
-    // RPAS_TRACE_OUT) is set.
-    let obs = Obs::from_env_with_trace(a.get("trace-out"));
+    // RPAS_TRACE_OUT) is set. `fleet` is the exception: its --trace-out is
+    // the deterministic tenant-scoped trace written after the run (live
+    // sink lines carry wall-clock timestamps and would break the fleet's
+    // byte-identity guarantee).
+    let obs = if a.command == "fleet" {
+        Obs::from_env()
+    } else {
+        Obs::from_env_with_trace(a.get("trace-out"))
+    };
     let result = match a.command.as_str() {
         "generate" => generate(&a),
         "forecast" => forecast(&a, &obs),
@@ -105,6 +122,7 @@ fn run(args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
         "simulate" => simulate(&a, &obs),
         "backtest" => backtest(&a, &obs),
         "chaos" => chaos(&a, &obs),
+        "fleet" => fleet(&a, &obs),
         "trace-report" => trace_report(&a),
         other => Err(format!("unknown command {other:?}").into()),
     };
@@ -663,6 +681,134 @@ fn chaos(a: &ParsedArgs, obs: &Obs) -> Result<(), Box<dyn std::error::Error>> {
         }
         std::fs::write(path, &text)?;
         println!("wrote fault schedules to {path}");
+    }
+    Ok(())
+}
+
+/// Multi-tenant fleet simulation: N tenants, each with its own trace
+/// (child-seeded from --seed), forecaster state, and scaling policy,
+/// advanced by one [`FleetEngine`] over the shared worker pool. Same
+/// flags → byte-identical stdout and --trace-out artifact at any
+/// `RPAS_THREADS`.
+fn fleet(a: &ParsedArgs, obs: &Obs) -> Result<(), Box<dyn std::error::Error>> {
+    let (days_d, _, _) = profile_defaults();
+    let tenants: usize = a.get_or("tenants", 16)?;
+    if tenants == 0 {
+        return Err("--tenants must be at least 1".into());
+    }
+    let seed: u64 = a.get_or("seed", 7)?;
+    let days: usize = a.get_or("days", days_d.max(4))?;
+    if days < 2 {
+        return Err("--days must be at least 2 (forecasters fit on the first half)".into());
+    }
+    let theta: f64 = a.get_or("theta", 60.0)?;
+    if theta <= 0.0 {
+        return Err("--theta must be positive".into());
+    }
+    let min_nodes: u32 = a.get_or("min-nodes", 1)?;
+    let tau: f64 = a.get_or("tau", 0.9)?;
+    if !(0.0 < tau && tau < 1.0) {
+        return Err("--tau must be in (0,1)".into());
+    }
+    let context: usize = a.get_or("context", STEPS_PER_DAY)?;
+    let horizon: usize = a.get_or("horizon", 72)?;
+    if context == 0 || horizon == 0 {
+        return Err("--context and --horizon must be at least 1".into());
+    }
+
+    let policies_raw = a.get("policies").unwrap_or("predictive,resilient,reactive-max");
+    let mut policies = Vec::new();
+    for name in policies_raw.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        policies.push(
+            TenantPolicyKind::parse(name).ok_or_else(|| format!("unknown policy {name:?}"))?,
+        );
+    }
+    let presets_raw = a.get("presets").unwrap_or("alibaba,google");
+    let mut presets = Vec::new();
+    for name in presets_raw.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        presets
+            .push(TracePreset::parse(name).ok_or_else(|| format!("unknown preset {name:?}"))?);
+    }
+    if policies.is_empty() || presets.is_empty() {
+        return Err("--policies and --presets must each select at least one entry".into());
+    }
+
+    let faults_raw = a.get("faults").unwrap_or("none");
+    let faults = match faults_raw {
+        "none" => None,
+        "light" => Some(FaultConfig::light()),
+        "heavy" => Some(FaultConfig::heavy()),
+        spec => {
+            let cfg = FaultConfig::from_spec(spec)?;
+            cfg.validate()?;
+            Some(cfg)
+        }
+    };
+
+    let trace_out = a.get("trace-out");
+    let cfg = FleetConfig {
+        tenants,
+        seed,
+        days,
+        theta,
+        min_nodes,
+        tau,
+        schedule: ReplanSchedule { context, horizon },
+        policies,
+        presets,
+        resilience: ResilienceConfig::default(),
+        faults,
+        capture_events: trace_out.is_some(),
+    };
+
+    obs.info("fleet", "start", |e| {
+        e.field("tenants", tenants).field("days", days).field("seed", seed);
+    });
+    let mut engine = FleetEngine::new(&cfg);
+    engine.run_to_completion();
+    let report = engine.finish();
+
+    let ticks = days * STEPS_PER_DAY;
+    println!(
+        "fleet             : {tenants} tenant(s) × {ticks} tick(s), θ={theta}, seed {seed}"
+    );
+    println!("policy mix        : {policies_raw}");
+    println!("preset mix        : {presets_raw}");
+    println!("faults            : {faults_raw}");
+    println!("violation rate    : {:.4}", report.qos.violation_rate);
+    println!("node steps        : {}", report.qos.node_steps);
+    println!("over-prov steps   : {}", report.qos.over_provision_node_steps);
+    println!("P95 regret        : {}", report.qos.p95_regret_node_steps);
+    println!("max regret        : {}", report.qos.max_regret_node_steps);
+
+    let worst: usize = a.get_or("worst", 5)?;
+    if worst > 0 {
+        println!(
+            "{:<6} {:<13} {:<8} {:>9} {:>7} {:>7}",
+            "tenant", "policy", "preset", "regret", "viol", "faults"
+        );
+        for i in report.worst_by_regret(worst) {
+            let t = &report.tenants[i];
+            println!(
+                "{:<6} {:<13} {:<8} {:>9} {:>7.4} {:>7}",
+                t.id.to_string(),
+                t.policy,
+                t.preset,
+                t.qos.regret_node_steps,
+                t.qos.violation_rate,
+                t.faults_applied,
+            );
+        }
+    }
+
+    if let Some(path) = trace_out {
+        let mut text = String::with_capacity(report.trace_lines.len() * 128);
+        for line in &report.trace_lines {
+            text.push_str(line);
+            text.push('\n');
+        }
+        std::fs::write(path, &text)?;
+        println!("wrote {} tenant-scoped trace events to {path}", report.trace_lines.len());
     }
     Ok(())
 }

@@ -36,6 +36,7 @@ pub use rpas_core as core;
 pub use rpas_forecast as forecast;
 pub use rpas_lint as lint;
 pub use rpas_obs as obs;
+pub use rpas_par as par;
 pub use rpas_lp as lp;
 pub use rpas_metrics as metrics;
 pub use rpas_nn as nn;

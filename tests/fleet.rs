@@ -1,0 +1,70 @@
+//! Fleet-level determinism: one fleet seed fixes every tenant's trace,
+//! faults, policy decisions, and sanitized trace events — regardless of
+//! how many worker threads execute the fleet.
+//!
+//! Worker-thread counts are controlled through `RPAS_THREADS`, which is
+//! process-global; every mutation of it lives inside
+//! `report_is_identical_across_thread_counts` so no other test observes a
+//! transient value. (Even if one did, the invariant under test is exactly
+//! that the value cannot change results.)
+
+use rpas::core::{FleetConfig, FleetEngine, FleetReport};
+
+fn fleet_cfg() -> FleetConfig {
+    let mut cfg = FleetConfig::new(16, 42);
+    cfg.days = 2;
+    cfg.capture_events = true;
+    cfg
+}
+
+fn run_fleet(cfg: &FleetConfig) -> FleetReport {
+    let mut engine = FleetEngine::new(cfg);
+    engine.run_to_completion();
+    engine.finish()
+}
+
+#[test]
+fn report_is_identical_across_thread_counts() {
+    let cfg = fleet_cfg();
+
+    std::env::set_var("RPAS_THREADS", "1");
+    let sequential = run_fleet(&cfg);
+    std::env::set_var("RPAS_THREADS", "4");
+    let oversubscribed = run_fleet(&cfg);
+    std::env::remove_var("RPAS_THREADS");
+    let default = run_fleet(&cfg);
+
+    assert_eq!(sequential, oversubscribed, "1 vs 4 worker threads");
+    assert_eq!(sequential, default, "1 worker thread vs hardware default");
+
+    // The sanitized trace must be thread-safe too: identical line-for-line,
+    // with no wall-clock fields surviving sanitization.
+    assert!(!sequential.trace_lines.is_empty(), "capture_events produced no trace");
+    for line in &sequential.trace_lines {
+        assert!(line.contains("\"ts_us\":0"), "wall clock leaked into {line}");
+        assert!(line.contains("\"tenant\":\"t"), "missing tenant scope in {line}");
+    }
+}
+
+#[test]
+fn report_is_reproducible_and_accounts_every_tick() {
+    let cfg = fleet_cfg();
+    let a = run_fleet(&cfg);
+    let b = run_fleet(&cfg);
+    assert_eq!(a, b, "same config, same process → same report");
+
+    assert_eq!(a.tenants.len(), 16);
+    assert_eq!(a.qos.tenants, 16);
+    assert_eq!(a.qos.total_steps, 16 * 2 * 144);
+    assert!((0.0..=1.0).contains(&a.qos.violation_rate));
+    assert!(a.qos.max_regret_node_steps >= a.qos.p95_regret_node_steps);
+
+    // Tick-by-tick advancement is the same machine as run_to_completion.
+    let mut engine = FleetEngine::new(&cfg);
+    let mut ticks = 0usize;
+    while engine.tick() > 0 {
+        ticks += 1;
+    }
+    assert_eq!(ticks, 2 * 144);
+    assert_eq!(engine.finish(), a);
+}

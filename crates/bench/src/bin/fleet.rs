@@ -104,6 +104,28 @@ fn main() {
         max_row.threads
     );
 
+    // Live-telemetry variant at the default thread count: what the metric
+    // registry's recording path adds to a whole fleet run (the dark path
+    // is budgeted separately by the telemetry_overhead bin).
+    let tel = rpas_telemetry::Telemetry::live();
+    let mut tel_run = f64::INFINITY;
+    for _ in 0..samples {
+        let mut engine = FleetEngine::with_telemetry(&cfg, &tel);
+        let t = Instant::now();
+        engine.run_to_completion();
+        tel_run = tel_run.min(t.elapsed().as_secs_f64());
+        std::hint::black_box(engine.finish());
+    }
+    let tel_overhead = tel_run / max_row.run_secs - 1.0;
+    println!(
+        "live telemetry: run {tel_run:.3} s ({:+.1}% vs dark at {} thread(s))",
+        tel_overhead * 100.0,
+        max_row.threads
+    );
+    bench_obs().debug("bench", "fleet_telemetry_overhead", |e| {
+        e.field("run_us", tel_run * 1e6).field("overhead_frac", tel_overhead);
+    });
+
     // Hand-rolled JSON (the workspace has no serde); one object per file.
     let mut json = String::new();
     json.push_str("{\n");
@@ -125,7 +147,10 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
-    json.push_str(&format!("  \"speedup_max_vs_1\": {speedup:.3}\n"));
+    json.push_str(&format!("  \"speedup_max_vs_1\": {speedup:.3},\n"));
+    json.push_str(&format!(
+        "  \"telemetry_run_secs\": {tel_run:.6},\n  \"telemetry_overhead_frac\": {tel_overhead:.4}\n"
+    ));
     json.push_str("}\n");
 
     let path = workspace_file("BENCH_fleet.json");

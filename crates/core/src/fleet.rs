@@ -26,6 +26,7 @@ use crate::resilient::{ResilienceConfig, ResilientManager};
 use rpas_forecast::{Forecaster, SeasonalNaive};
 use rpas_obs::{Event, MemorySink, Obs};
 use rpas_par::{par_for_each_mut, par_map};
+use rpas_telemetry::{RatioSeries, SloReport, SloSpec, Telemetry};
 use rpas_simdb::{
     fleet_qos, tenant_qos, FaultConfig, FaultPlan, FleetQos, ScalingPolicy, SimConfig,
     SimSession, SimulationReport, TenantQos,
@@ -173,6 +174,9 @@ pub struct FleetConfig {
     /// Capture per-tenant obs events in memory for a deterministic
     /// tenant-scoped trace (see [`FleetReport::trace_lines`]).
     pub capture_events: bool,
+    /// Optional SLO to evaluate per tenant and fleet-wide at finish
+    /// (see [`FleetReport::slo`]).
+    pub slo: Option<SloSpec>,
 }
 
 impl FleetConfig {
@@ -196,6 +200,7 @@ impl FleetConfig {
             resilience: ResilienceConfig::default(),
             faults: None,
             capture_events: false,
+            slo: None,
         }
     }
 
@@ -250,10 +255,10 @@ impl TenantRun {
     /// degrade to the reactive bootstrap), assemble the policy, and open
     /// the simulation session.
     pub fn build(spec: &TenantSpec) -> Self {
-        Self::build_inner(spec, false)
+        Self::build_inner(spec, false, &Telemetry::noop())
     }
 
-    fn build_inner(spec: &TenantSpec, capture_events: bool) -> Self {
+    fn build_inner(spec: &TenantSpec, capture_events: bool, tel: &Telemetry) -> Self {
         let trace = spec.preset.build(spec.trace_seed, spec.days);
         let (capture, obs) = if capture_events {
             let mem = MemorySink::new();
@@ -262,6 +267,11 @@ impl TenantRun {
         } else {
             (None, Obs::noop())
         };
+        // Every handle this tenant records through carries its id, so
+        // per-tenant cells have a single writer (gauge-safe) and
+        // fleet-wide values are label-sums over tenants.
+        let tenant_label = spec.id.to_string();
+        let labels: [(&str, &str); 1] = [("tenant", tenant_label.as_str())];
 
         let make_predictive = || {
             let mut fc = SeasonalNaive::new(spec.schedule.context);
@@ -281,7 +291,8 @@ impl TenantRun {
             TenantPolicyKind::Predictive => Box::new(make_predictive()),
             TenantPolicyKind::Resilient => Box::new(
                 ResilientManager::with_config(make_predictive(), spec.resilience)
-                    .with_obs(obs.clone()),
+                    .with_obs(obs.clone())
+                    .with_telemetry(tel, &labels),
             ),
         };
 
@@ -290,7 +301,8 @@ impl TenantRun {
             min_nodes: spec.min_nodes,
             ..SimConfig::default()
         };
-        let mut session = SimSession::new(&trace, cfg).with_obs(obs);
+        let mut session =
+            SimSession::new(&trace, cfg).with_obs(obs).with_telemetry(tel, &labels);
         if let Some((fc, fault_seed)) = &spec.faults {
             session =
                 session.with_faults(FaultPlan::build(fc.clone(), *fault_seed, trace.len()));
@@ -344,6 +356,9 @@ pub struct FleetReport {
     /// trace is byte-identical across reruns and thread counts. Empty
     /// when `capture_events` was off.
     pub trace_lines: Vec<String>,
+    /// SLO evaluation (per tenant + `fleet`), present when
+    /// [`FleetConfig::slo`] was set.
+    pub slo: Option<SloReport>,
 }
 
 impl FleetReport {
@@ -374,6 +389,8 @@ fn sanitize_event(ev: &Event, id: TenantId, seq: u64) -> String {
 /// A fleet of tenants advanced in lockstep over the shared worker pool.
 pub struct FleetEngine {
     runs: Vec<TenantRun>,
+    slo: Option<SloSpec>,
+    obs: Obs,
 }
 
 impl FleetEngine {
@@ -381,10 +398,25 @@ impl FleetEngine {
     /// trace generation and forecaster fitting dominate; each tenant is
     /// a pure function of its spec, so build order does not matter).
     pub fn new(cfg: &FleetConfig) -> Self {
+        Self::with_telemetry(cfg, &Telemetry::noop())
+    }
+
+    /// Like [`FleetEngine::new`], but every tenant session and resilience
+    /// ladder records through `tel` under a `tenant="tNNNN"` label. Pass
+    /// [`Telemetry::noop`] (or call [`FleetEngine::new`]) to keep the
+    /// dark path.
+    pub fn with_telemetry(cfg: &FleetConfig, tel: &Telemetry) -> Self {
         let specs = cfg.specs();
         let capture = cfg.capture_events;
-        let runs = par_map(&specs, |spec| TenantRun::build_inner(spec, capture));
-        Self { runs }
+        let runs = par_map(&specs, |spec| TenantRun::build_inner(spec, capture, tel));
+        Self { runs, slo: cfg.slo.clone(), obs: Obs::noop() }
+    }
+
+    /// Attach a fleet-level obs handle; [`FleetEngine::finish`] emits its
+    /// `slo/*` audit events (status + burn alerts) through it.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Number of tenants.
@@ -424,12 +456,20 @@ impl FleetEngine {
     pub fn finish(self) -> FleetReport {
         let mut tenants = Vec::with_capacity(self.runs.len());
         let mut trace_lines = Vec::new();
+        let mut subjects: Vec<(String, RatioSeries)> = Vec::new();
         let mut seq = 0u64;
         for run in self.runs {
             let TenantRun { spec, policy, session, capture } = run;
+            if self.slo.is_some() {
+                let flags: Vec<bool> =
+                    session.records().iter().map(|s| s.violation).collect();
+                subjects.push((spec.id.to_string(), RatioSeries::from_bools(&flags)));
+            }
             let report: SimulationReport = session.finish(policy.name());
             if let Some(mem) = capture {
-                for ev in mem.events() {
+                // drain, not events(): the sink is finished with, so take
+                // the buffer instead of cloning it.
+                for ev in mem.drain() {
                     trace_lines.push(sanitize_event(&ev, spec.id, seq));
                     seq += 1;
                 }
@@ -445,7 +485,9 @@ impl FleetEngine {
         let qos = fleet_qos(
             &tenants.iter().map(|t| t.qos.clone()).collect::<Vec<_>>(),
         );
-        FleetReport { tenants, qos, trace_lines }
+        let slo =
+            self.slo.as_ref().map(|spec| SloReport::evaluate(spec, &subjects, &self.obs));
+        FleetReport { tenants, qos, trace_lines, slo }
     }
 }
 
@@ -519,6 +561,55 @@ mod tests {
         assert!(report.tenants.iter().any(|t| t.faults_applied > 0));
         assert_eq!(report.qos.tenants, 6);
         assert_eq!(report.qos.total_steps, 6 * 2 * 144);
+    }
+
+    #[test]
+    fn telemetry_and_slo_are_deterministic_across_reruns() {
+        let mut cfg = small_cfg();
+        cfg.slo = Some(SloSpec::violation_rate_default());
+        let run = || {
+            let tel = Telemetry::live();
+            let mut engine = FleetEngine::with_telemetry(&cfg, &tel);
+            engine.run_to_completion();
+            let report = engine.finish();
+            (report, tel.snapshot().exposition())
+        };
+        let (ra, expo_a) = run();
+        let (rb, expo_b) = run();
+        assert_eq!(ra, rb);
+        assert_eq!(expo_a, expo_b, "metric exposition must be rerun-stable");
+
+        // Every tenant recorded its per-step counters under its label.
+        for t in &ra.tenants {
+            let key = format!("sim.steps{{tenant=\"{}\"}} counter {}", t.id, 2 * 144);
+            assert!(expo_a.contains(&key), "missing {key:?} in exposition");
+        }
+        // Resilient tenants register ladder counters too.
+        assert!(expo_a.contains("resilience.fallbacks{tenant=\"t0001\"}"), "{expo_a}");
+
+        // The SLO report covers each tenant plus the fleet roll-up, and
+        // the fleet bad-count is the sum over tenants.
+        let slo = ra.slo.expect("slo configured");
+        assert_eq!(slo.tenants.len(), cfg.tenants);
+        let tenant_bad: u64 = slo.tenants.iter().map(|s| s.bad).sum();
+        assert_eq!(slo.fleet.bad, tenant_bad);
+        assert_eq!(slo.fleet.total, (cfg.tenants * 2 * 144) as u64);
+        assert!(!slo.render().is_empty());
+    }
+
+    #[test]
+    fn slo_events_flow_through_the_fleet_obs_handle() {
+        let mut cfg = small_cfg();
+        cfg.slo = Some(SloSpec::violation_rate_default());
+        let mem = MemorySink::new();
+        let mut engine =
+            FleetEngine::new(&cfg).with_obs(Obs::with_sink(Box::new(mem.clone())));
+        engine.run_to_completion();
+        let report = engine.finish();
+        let events = mem.drain();
+        let statuses =
+            events.iter().filter(|e| e.span == "slo" && e.name == "status").count();
+        assert_eq!(statuses, report.slo.expect("slo configured").tenants.len() + 1);
     }
 
     #[test]

@@ -35,6 +35,7 @@ use crate::thrash::clamp_step;
 use rpas_forecast::{ForecastError, Forecaster, QuantileForecast, SeasonalNaive};
 use rpas_obs::Obs;
 use rpas_simdb::{Observation, PolicyHealth, ScaleOutcome, ScalingPolicy};
+use rpas_telemetry::{Counter, Telemetry};
 
 /// Forecast plausibility gate: wraps a [`Forecaster`] and converts
 /// non-finite or implausibly large outputs into
@@ -215,6 +216,36 @@ struct Retry {
 
 type NaiveFallback = QuantilePredictivePolicy<ForecastHealthGate<SeasonalNaive>>;
 
+/// Registry counters for the degradation ladder, one per transition
+/// kind (all dark by default; see [`ResilientManager::with_telemetry`]).
+/// They complement — never replace — the `resilience/*` audit events:
+/// events carry the per-step detail, counters give the fleet-wide sums
+/// an SLO dashboard reads.
+#[derive(Default, Clone)]
+struct ResilienceMetrics {
+    fallbacks: Counter,
+    recoveries: Counter,
+    hold_last: Counter,
+    retries: Counter,
+    retries_exhausted: Counter,
+    backstop_overrides: Counter,
+    guardrail_clamps: Counter,
+}
+
+impl ResilienceMetrics {
+    fn new(tel: &Telemetry, labels: &[(&str, &str)]) -> Self {
+        Self {
+            fallbacks: tel.counter("resilience.fallbacks", labels),
+            recoveries: tel.counter("resilience.recoveries", labels),
+            hold_last: tel.counter("resilience.hold_last", labels),
+            retries: tel.counter("resilience.retries", labels),
+            retries_exhausted: tel.counter("resilience.retries_exhausted", labels),
+            backstop_overrides: tel.counter("resilience.backstop_overrides", labels),
+            guardrail_clamps: tel.counter("resilience.guardrail_clamps", labels),
+        }
+    }
+}
+
 /// Resilience wrapper: fallback chain + backstop + hold-last + bounded
 /// retry + guardrails around any [`ScalingPolicy`]. See the module docs
 /// for the full defence ladder.
@@ -228,6 +259,7 @@ pub struct ResilientManager<P> {
     probation: usize,
     retry: Option<Retry>,
     obs: Obs,
+    tel: ResilienceMetrics,
 }
 
 impl<P: ScalingPolicy> ResilientManager<P> {
@@ -253,6 +285,7 @@ impl<P: ScalingPolicy> ResilientManager<P> {
             probation: 0,
             retry: None,
             obs: Obs::noop(),
+            tel: ResilienceMetrics::default(),
         }
     }
 
@@ -260,6 +293,16 @@ impl<P: ScalingPolicy> ResilientManager<P> {
     /// transition then emits a `resilience/*` event.
     pub fn with_obs(mut self, obs: Obs) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Builder: count degradation-ladder transitions into a
+    /// [`Telemetry`] registry (`resilience.fallbacks`, `.recoveries`,
+    /// `.hold_last`, `.retries`, `.retries_exhausted`,
+    /// `.backstop_overrides`, `.guardrail_clamps`), all carrying
+    /// `labels` (the fleet passes `tenant`).
+    pub fn with_telemetry(mut self, tel: &Telemetry, labels: &[(&str, &str)]) -> Self {
+        self.tel = ResilienceMetrics::new(tel, labels);
         self
     }
 
@@ -288,6 +331,7 @@ impl<P: ScalingPolicy> ResilientManager<P> {
                             wait: self.cfg.retry_backoff_steps,
                         });
                         if left > 0 {
+                            self.tel.retries.inc(1);
                             self.obs.warn("resilience", "retry", |e| {
                                 e.field("step", obs.step as u64)
                                     .field("want", u64::from(want))
@@ -306,6 +350,7 @@ impl<P: ScalingPolicy> ResilientManager<P> {
                         } else {
                             r.wait = self.cfg.retry_backoff_steps;
                             let (want, left) = (r.want, r.left);
+                            self.tel.retries.inc(1);
                             self.obs.warn("resilience", "retry", |e| {
                                 e.field("step", obs.step as u64)
                                     .field("want", u64::from(want))
@@ -323,6 +368,7 @@ impl<P: ScalingPolicy> ResilientManager<P> {
     }
 
     fn emit_retry_exhausted(&self, step: usize, want: u32) {
+        self.tel.retries_exhausted.inc(1);
         self.obs.warn("resilience", "retry_exhausted", |e| {
             e.field("step", step as u64).field("want", u64::from(want));
         });
@@ -332,6 +378,7 @@ impl<P: ScalingPolicy> ResilientManager<P> {
         let from = self.tier;
         self.tier = self.tier.demoted();
         self.probation = 0;
+        self.tel.fallbacks.inc(1);
         self.obs.warn("resilience", "fallback", |e| {
             e.field("step", step as u64)
                 .field("from", from.label())
@@ -403,6 +450,7 @@ impl<P: ScalingPolicy> ResilientManager<P> {
         let hi = self.cfg.max_nodes.max(obs.min_nodes);
         let granted = stepped.clamp(obs.min_nodes, hi);
         if granted != want {
+            self.tel.guardrail_clamps.inc(1);
             self.obs.info("resilience", "guardrail_clamp", |e| {
                 e.field("step", obs.step as u64)
                     .field("want", u64::from(want))
@@ -427,6 +475,7 @@ impl<P: ScalingPolicy> ScalingPolicy for ResilientManager<P> {
         // is nothing to hold yet.)
         if !obs.metrics_fresh {
             if let Some(held) = self.last_target {
+                self.tel.hold_last.inc(1);
                 self.obs.warn("resilience", "hold_last", |e| {
                     e.field("step", obs.step as u64).field("target", u64::from(held));
                 });
@@ -459,6 +508,7 @@ impl<P: ScalingPolicy> ScalingPolicy for ResilientManager<P> {
                 if self.tier == Tier::SeasonalNaive {
                     self.naive = None; // refit on fresh history
                 }
+                self.tel.recoveries.inc(1);
                 self.obs.info("resilience", "recover", |e| {
                     e.field("step", obs.step as u64)
                         .field("from", from.label())
@@ -472,6 +522,7 @@ impl<P: ScalingPolicy> ScalingPolicy for ResilientManager<P> {
         // Always-on safety floor: never allocate below Reactive-Max.
         let floor = self.backstop.decide(obs);
         let target = if floor > tier_target {
+            self.tel.backstop_overrides.inc(1);
             self.obs.debug("resilience", "backstop", |e| {
                 e.field("step", obs.step as u64)
                     .field("tier_target", u64::from(tier_target))
@@ -594,6 +645,36 @@ mod tests {
         // → demoted again in the same step.
         assert!(names(&mem).contains(&"recover".to_string()));
         assert_eq!(m.tier(), Tier::SeasonalNaive);
+    }
+
+    #[test]
+    fn telemetry_counters_match_resilience_events() {
+        let mem = MemorySink::new();
+        let tel = Telemetry::live();
+        let mut m = ResilientManager::with_config(FailsAfter { from: 2, seen: 0 }, cfg_small())
+            .with_obs(Obs::with_sink(Box::new(mem.clone())))
+            .with_telemetry(&tel, &[("tenant", "t0000")]);
+        let h: Vec<f64> = (0..16).map(|t| 60.0 + 10.0 * ((t % 4) as f64)).collect();
+        for step in 0..8 {
+            let obs = Observation::new(step, &h, 2, 60.0, 1);
+            m.decide(&obs);
+        }
+        // Every ladder transition increments a counter exactly when the
+        // matching resilience/* event is emitted.
+        let evs = names(&mem);
+        let count = |n: &str| evs.iter().filter(|e| e.as_str() == n).count() as u64;
+        let snap = tel.snapshot();
+        let val = |metric: &str| {
+            snap.counter_value(&format!("{metric}{{tenant=\"t0000\"}}")).unwrap_or(0)
+        };
+        assert!(count("fallback") > 0, "scenario must demote at least once");
+        assert_eq!(val("resilience.fallbacks"), count("fallback"));
+        assert_eq!(val("resilience.recoveries"), count("recover"));
+        assert_eq!(val("resilience.hold_last"), count("hold_last"));
+        assert_eq!(val("resilience.retries"), count("retry"));
+        assert_eq!(val("resilience.retries_exhausted"), count("retry_exhausted"));
+        assert_eq!(val("resilience.backstop_overrides"), count("backstop"));
+        assert_eq!(val("resilience.guardrail_clamps"), count("guardrail_clamp"));
     }
 
     #[test]

@@ -60,7 +60,7 @@ impl Default for Config {
                 "examples/".into(),
             ],
             o1_stderr_allow_prefixes: vec!["crates/obs/".into()],
-            f1_crate_dirs: ["tsmath", "nn", "forecast", "lp", "core"]
+            f1_crate_dirs: ["tsmath", "nn", "forecast", "lp", "core", "telemetry"]
                 .iter()
                 .map(|s| s.to_string())
                 .collect(),

@@ -179,7 +179,10 @@ impl Event {
         }
     }
 
-    /// Add a field (builder style inside emit closures).
+    /// Add a field (builder style inside emit closures). Repeated keys
+    /// deduplicate, last write wins — one event can never serialize a
+    /// duplicate JSON member, so exposition and diff tooling downstream
+    /// may treat field keys as unique.
     pub fn field(&mut self, key: &str, value: impl Into<Value>) -> &mut Self {
         self.fields.insert(key.to_string(), value.into());
         self
@@ -251,6 +254,19 @@ mod tests {
         assert!(s.contains("\"regime\":\"conservative\""));
         assert!(s.contains("\"step\":3"));
         assert!(s.contains("\"tau\":0.95"));
+    }
+
+    #[test]
+    fn repeated_field_keys_deduplicate_last_write_wins() {
+        let mut e = Event::new(Level::Info, "s", "n");
+        e.field("k", 1u64).field("other", true).field("k", "two").field("k", 3u64);
+        assert_eq!(e.fields.len(), 2);
+        assert_eq!(e.fields.get("k"), Some(&Value::U64(3)));
+        // Exactly one serialized member for the repeated key.
+        let json = e.to_json();
+        assert_eq!(json.matches("\"k\":").count(), 1);
+        assert!(json.contains("\"k\":3"));
+        assert_eq!(e.content_line().matches(" k=").count(), 1);
     }
 
     #[test]

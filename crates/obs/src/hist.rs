@@ -69,6 +69,12 @@ impl Histogram {
         self.count
     }
 
+    /// The configured inclusive upper bounds (excluding the implicit
+    /// `+inf` overflow bucket).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
     /// Mean of the finite samples (NaN when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -239,6 +245,64 @@ mod tests {
         let mut h = Histogram::new(vec![1.0]);
         h.record(f64::NAN);
         assert_eq!(h.encode(), "le=1:0;inf:1");
+    }
+
+    #[test]
+    fn value_exactly_on_bucket_edge_lands_in_that_bucket() {
+        // Bounds are *inclusive* upper bounds: record() places v with
+        // partition_point(b < v), so v == bound stays in bound's bucket.
+        let mut h = Histogram::new(vec![10.0, 100.0]);
+        h.record(10.0);
+        h.record(100.0);
+        assert_eq!(h.encode(), "le=10:1;le=100:1;inf:0");
+        // The next representable value above the edge overflows to the
+        // following bucket.
+        let mut h2 = Histogram::new(vec![10.0, 100.0]);
+        h2.record(10.0_f64.next_up());
+        assert_eq!(h2.encode(), "le=10:0;le=100:1;inf:0");
+    }
+
+    #[test]
+    fn infinities_land_in_overflow_bucket() {
+        let mut h = Histogram::new(vec![10.0, 100.0]);
+        h.record(f64::INFINITY);
+        assert_eq!(h.encode(), "le=10:0;le=100:0;inf:1");
+        // -inf is below every bound, so it stays in the first bucket —
+        // and, being non-finite, it is excluded from the mean.
+        h.record(f64::NEG_INFINITY);
+        assert_eq!(h.encode(), "le=10:1;le=100:0;inf:1");
+        assert_eq!(h.count(), 2);
+        assert!((h.mean() - 0.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn overflow_only_percentiles_saturate_at_largest_bound() {
+        // When every sample overflows, the estimator can only report the
+        // largest configured bound — pinned here so dashboards reading
+        // p99 of an overflowing histogram know the value is a floor.
+        let mut h = Histogram::new(vec![10.0, 100.0]);
+        h.record(1e9);
+        h.record(f64::INFINITY);
+        assert_eq!(h.percentile(0.0), 100.0);
+        assert_eq!(h.percentile(0.99), 100.0);
+        assert_eq!(h.percentile(1.0), 100.0);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_and_mean_are_nan() {
+        let h = Histogram::new(vec![1.0, 2.0]);
+        assert_eq!(h.count(), 0);
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert!(h.percentile(q).is_nan());
+        }
+        assert!(h.mean().is_nan());
+        assert_eq!(h.encode(), "le=1:0;le=2:0;inf:0");
+    }
+
+    #[test]
+    fn bounds_accessor_exposes_configured_bounds() {
+        let h = Histogram::new(vec![1.0, 2.0, 4.0]);
+        assert_eq!(h.bounds(), &[1.0, 2.0, 4.0]);
     }
 
     #[test]

@@ -126,6 +126,13 @@ impl MemorySink {
         self.events.lock().expect("memory sink poisoned").clone()
     }
 
+    /// Take everything captured so far, leaving the sink empty — no
+    /// per-event clone, so consumers that own the capture (the fleet
+    /// engine drains one sink per tenant) pay only a pointer swap.
+    pub fn drain(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().expect("memory sink poisoned"))
+    }
+
     /// Number of captured events.
     pub fn len(&self) -> usize {
         self.events.lock().expect("memory sink poisoned").len()
@@ -390,6 +397,22 @@ mod tests {
         obs.counter("x", "m", 1);
         assert_eq!(built, 0);
         assert!(!obs.enabled(Level::Error));
+    }
+
+    #[test]
+    fn memory_sink_drain_takes_and_empties() {
+        let mem = MemorySink::new();
+        let obs = Obs::with_sink(Box::new(mem.clone()));
+        obs.info("s", "a", |_| {});
+        obs.info("s", "b", |_| {});
+        let drained = mem.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[1].name, "b");
+        assert!(mem.is_empty());
+        assert!(mem.drain().is_empty());
+        // The sink stays usable after a drain.
+        obs.info("s", "c", |_| {});
+        assert_eq!(mem.len(), 1);
     }
 
     #[test]

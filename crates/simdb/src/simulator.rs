@@ -15,6 +15,7 @@ use crate::storage::SharedStorage;
 use crate::warmup::WarmupModel;
 use rpas_metrics::provisioning_rates;
 use rpas_obs::{Level, Obs};
+use rpas_telemetry::{Counter, HistogramHandle, Telemetry};
 use rpas_traces::Trace;
 use std::sync::Arc;
 
@@ -120,6 +121,33 @@ impl<'a> Simulation<'a> {
     }
 }
 
+/// Registry handles one session records through (all dark by default;
+/// see [`SimSession::with_telemetry`]). Bucket bounds of the
+/// utilization histogram are fractions of `θ`, so `>1` buckets count
+/// SLO-violating intervals.
+#[derive(Default, Clone)]
+struct SessionMetrics {
+    steps: Counter,
+    violations: Counter,
+    faults: Counter,
+    utilization: HistogramHandle,
+}
+
+impl SessionMetrics {
+    /// Utilization-to-θ ratio buckets (inclusive upper bounds; the
+    /// implicit overflow bucket holds ratios beyond 2θ).
+    const UTIL_BOUNDS: [f64; 7] = [0.25, 0.5, 0.75, 0.9, 1.0, 1.5, 2.0];
+
+    fn new(tel: &Telemetry, labels: &[(&str, &str)]) -> Self {
+        Self {
+            steps: tel.counter("sim.steps", labels),
+            violations: tel.counter("sim.violations", labels),
+            faults: tel.counter("sim.faults", labels),
+            utilization: tel.histogram("sim.utilization_ratio", labels, &Self::UTIL_BOUNDS),
+        }
+    }
+}
+
 /// The simulation loop as a resumable state machine: one [`SimSession`]
 /// is one policy driving one cluster over one realised workload series,
 /// advanced one decision tick at a time with [`SimSession::step`].
@@ -130,6 +158,7 @@ impl<'a> Simulation<'a> {
 pub struct SimSession {
     cfg: SimConfig,
     obs: Obs,
+    tel: SessionMetrics,
     faults: Option<FaultPlan>,
     /// Realised workload: anomaly bursts layered on the base trace.
     w: Vec<f64>,
@@ -161,6 +190,7 @@ impl SimSession {
         Self {
             cfg,
             obs: Obs::noop(),
+            tel: SessionMetrics::default(),
             faults: None,
             dt: trace.interval_secs as f64,
             steps: Vec::with_capacity(w.len()),
@@ -177,6 +207,17 @@ impl SimSession {
     /// [`Simulation::with_obs`] for the events emitted).
     pub fn with_obs(mut self, obs: Obs) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Builder: record per-tick metrics into a [`Telemetry`] registry —
+    /// `sim.steps`/`sim.violations`/`sim.faults` counters and a
+    /// `sim.utilization_ratio` histogram (utilization as a fraction of
+    /// `θ`), all carrying `labels` (the fleet passes `tenant`). A dark
+    /// handle keeps the loop exactly as fast as before: every recording
+    /// is a single branch.
+    pub fn with_telemetry(mut self, tel: &Telemetry, labels: &[(&str, &str)]) -> Self {
+        self.tel = SessionMetrics::new(tel, labels);
         self
     }
 
@@ -232,6 +273,7 @@ impl SimSession {
             self.visible = t;
         } else {
             self.counts.metric_dropout += 1;
+            self.tel.faults.inc(1);
             let visible = self.visible;
             self.obs.info("fault", "metric_dropout", |e| {
                 e.field("step", t).field("stale_after", visible);
@@ -241,6 +283,7 @@ impl SimSession {
             let m = p.anomaly_mult_at(t);
             if m != 1.0 {
                 self.counts.anomaly_steps += 1;
+                self.tel.faults.inc(1);
                 self.obs.info("fault", "anomaly", |e| {
                     e.field("step", t)
                         .field("mult", m)
@@ -263,6 +306,7 @@ impl SimSession {
             ScaleOutcome::NoChange
         } else if fp.is_some_and(|p| p.scale_fail_at(t)) {
             self.counts.scale_fail += 1;
+            self.tel.faults.inc(1);
             self.obs.info("fault", "scale_fail", |e| {
                 e.field("step", t).field("requested", target).field("current", current);
             });
@@ -272,6 +316,7 @@ impl SimSession {
             self.cluster.scale_to_delayed(target, t, delay as f64 * self.dt);
             if delay > 0 {
                 self.counts.provision_delay += 1;
+                self.tel.faults.inc(1);
                 self.obs.info("fault", "provision_delay", |e| {
                     e.field("step", t)
                         .field("extra_steps", delay)
@@ -286,6 +331,7 @@ impl SimSession {
             let crashed = self.cluster.crash(1, t);
             if crashed > 0 {
                 self.counts.node_crash += crashed as u64;
+                self.tel.faults.inc(crashed as u64);
                 let pool = self.cluster.size();
                 self.obs.info("fault", "node_crash", |e| {
                     e.field("step", t).field("count", crashed).field("pool", pool);
@@ -296,6 +342,11 @@ impl SimSession {
         let capacity = self.cluster.tick(self.dt).max(1e-9);
         let utilization = workload / capacity;
         let violation = utilization > self.cfg.theta * (1.0 + 1e-9);
+        self.tel.steps.inc(1);
+        if violation {
+            self.tel.violations.inc(1);
+        }
+        self.tel.utilization.record(utilization / self.cfg.theta);
         self.obs.debug("sim", "step", |e| {
             e.field("step", t)
                 .field("workload", workload)
@@ -488,6 +539,38 @@ mod tests {
         assert_eq!(warns.len(), 1, "one warn per run, got {}", warns.len());
         assert_eq!(warns[0].fields["steps"], rpas_obs::Value::U64(25));
         assert_eq!(warns[0].fields["total"], rpas_obs::Value::U64(25));
+    }
+
+    #[test]
+    fn telemetry_counters_match_the_report() {
+        let tr = trace(vec![200.0, 30.0, 200.0, 30.0, 200.0]);
+        let tel = Telemetry::live();
+        let mut session = SimSession::new(&tr, SimConfig::default())
+            .with_telemetry(&tel, &[("tenant", "t0000")]);
+        let mut p = FixedPolicy(1);
+        while session.step(&mut p) {}
+        let r = session.finish(p.name());
+        let snap = tel.snapshot();
+        let violations = r.steps.iter().filter(|s| s.violation).count() as u64;
+        assert_eq!(snap.counter_value("sim.steps{tenant=\"t0000\"}"), Some(5));
+        assert_eq!(snap.counter_value("sim.violations{tenant=\"t0000\"}"), Some(violations));
+        assert!(violations > 0);
+        // The >θ histogram buckets agree with the violation counter.
+        let exp = snap.exposition();
+        assert!(exp.contains("sim.utilization_ratio{tenant=\"t0000\"} histogram count=5"), "{exp}");
+    }
+
+    #[test]
+    fn dark_telemetry_does_not_change_the_run() {
+        let tr = trace(vec![30.0, 130.0, 250.0, 90.0]);
+        let dark = Simulation::new(&tr, SimConfig::default()).run(&mut FixedPolicy(3));
+        let tel = Telemetry::live();
+        let mut session =
+            SimSession::new(&tr, SimConfig::default()).with_telemetry(&tel, &[]);
+        let mut p = FixedPolicy(3);
+        while session.step(&mut p) {}
+        let lit = session.finish(p.name());
+        assert_eq!(dark.steps, lit.steps);
     }
 
     #[test]

@@ -1,0 +1,555 @@
+//! Sharded metric registry with cheap, cloneable recording handles.
+//!
+//! Layout: a fixed array of shards, each a `Mutex<BTreeMap<Key, Cell>>`.
+//! Handle *acquisition* locks one shard briefly; *recording* never takes
+//! a shard lock (counters and gauges are atomics, each histogram has its
+//! own mutex), so fleet workers on different metrics do not contend.
+//! Shard choice hashes the key with FNV-1a — a fixed algorithm, so the
+//! shard layout itself is deterministic (and irrelevant to output:
+//! snapshots re-sort all shards into one canonical order).
+//!
+//! Determinism: counter increments and histogram bucket counts are
+//! order-independent sums, so snapshots are byte-identical for any
+//! thread interleaving. Gauges are last-write-wins; they are only
+//! deterministic when each label set has a single writer (the fleet
+//! wiring labels every gauge by tenant for exactly this reason).
+
+use rpas_obs::json::escape_str;
+use rpas_obs::{Event, Histogram, Level, Obs};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+const SHARDS: usize = 16;
+
+/// Canonical metric identity: name plus sorted, key-deduplicated labels.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl Key {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Key {
+        assert!(
+            !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | ':' | '-')),
+            "metric name {name:?} must be non-empty [A-Za-z0-9_.:-]"
+        );
+        // Sorted by key, last write wins on duplicates — the same rule
+        // Event::field applies, so exposition lines can't carry dupes.
+        let mut map: BTreeMap<&str, &str> = BTreeMap::new();
+        for (k, v) in labels {
+            map.insert(k, v);
+        }
+        Key {
+            name: name.to_string(),
+            labels: map.into_iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+        }
+    }
+
+    fn fnv1a(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1_0000_0000_01b3);
+            }
+        };
+        eat(self.name.as_bytes());
+        for (k, v) in &self.labels {
+            eat(&[0xff]);
+            eat(k.as_bytes());
+            eat(&[0xfe]);
+            eat(v.as_bytes());
+        }
+        h
+    }
+
+    /// `name{k="v",…}` (or bare `name` without labels).
+    fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let inner: Vec<String> =
+            self.labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_str(v))).collect();
+        format!("{}{{{}}}", self.name, inner.join(","))
+    }
+}
+
+/// One registered metric cell. Recording goes through the `Arc` held by
+/// handles; the registry keeps a second `Arc` for snapshotting.
+#[derive(Clone)]
+enum Cell {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>), // f64 bits; starts at NaN
+    Hist(Arc<Mutex<Histogram>>),
+}
+
+impl Cell {
+    fn kind(&self) -> &'static str {
+        match self {
+            Cell::Counter(_) => "counter",
+            Cell::Gauge(_) => "gauge",
+            Cell::Hist(_) => "histogram",
+        }
+    }
+}
+
+/// A monotonically increasing counter handle.
+#[derive(Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Detached no-op handle (what a dark [`Telemetry`] hands out).
+    pub fn noop() -> Counter {
+        Counter(None)
+    }
+
+    /// Add `n`. Single branch when dark.
+    #[inline]
+    pub fn inc(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when dark).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-write-wins gauge handle. Only deterministic with one writer
+/// per label set.
+#[derive(Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// Detached no-op handle.
+    pub fn noop() -> Gauge {
+        Gauge(None)
+    }
+
+    /// Set the current reading. Single branch when dark.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if let Some(g) = &self.0 {
+            g.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current reading (NaN when dark or never set).
+    pub fn get(&self) -> f64 {
+        self.0.as_ref().map_or(f64::NAN, |g| f64::from_bits(g.load(Ordering::Relaxed)))
+    }
+}
+
+/// A fixed-bucket histogram handle (buckets from [`rpas_obs::Histogram`]).
+#[derive(Clone, Default)]
+pub struct HistogramHandle(Option<Arc<Mutex<Histogram>>>);
+
+impl HistogramHandle {
+    /// Detached no-op handle.
+    pub fn noop() -> HistogramHandle {
+        HistogramHandle(None)
+    }
+
+    /// Record one observation. Single branch when dark.
+    #[inline]
+    pub fn record(&self, v: f64) {
+        if let Some(h) = &self.0 {
+            h.lock().expect("histogram mutex poisoned").record(v);
+        }
+    }
+
+    /// Snapshot of this one histogram (empty default when dark).
+    pub fn value(&self) -> Histogram {
+        match &self.0 {
+            Some(h) => h.lock().expect("histogram mutex poisoned").clone(),
+            None => Histogram::new(vec![1.0]),
+        }
+    }
+}
+
+/// The sharded registry. Usually reached through [`Telemetry`].
+pub struct MetricRegistry {
+    shards: Vec<Mutex<BTreeMap<Key, Cell>>>,
+}
+
+impl Default for MetricRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricRegistry {
+    /// Empty registry with a fixed shard count.
+    pub fn new() -> MetricRegistry {
+        MetricRegistry { shards: (0..SHARDS).map(|_| Mutex::new(BTreeMap::new())).collect() }
+    }
+
+    fn cell(&self, key: Key, make: impl FnOnce() -> Cell) -> Cell {
+        let idx = (key.fnv1a() % SHARDS as u64) as usize;
+        let mut shard = self.shards[idx].lock().expect("registry shard poisoned");
+        let cell = shard.entry(key.clone()).or_insert_with(make).clone();
+        drop(shard);
+        cell
+    }
+
+    /// Counter handle for `name{labels}` (registered on first use).
+    ///
+    /// # Panics
+    /// Panics if the key is already registered as a different kind.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = Key::new(name, labels);
+        match self.cell(key, || Cell::Counter(Arc::new(AtomicU64::new(0)))) {
+            Cell::Counter(c) => Counter(Some(c)),
+            other => panic!("metric {name:?} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Gauge handle for `name{labels}` (registered on first use, NaN
+    /// until first `set`).
+    ///
+    /// # Panics
+    /// Panics if the key is already registered as a different kind.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = Key::new(name, labels);
+        match self.cell(key, || Cell::Gauge(Arc::new(AtomicU64::new(f64::NAN.to_bits())))) {
+            Cell::Gauge(g) => Gauge(Some(g)),
+            other => panic!("metric {name:?} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Histogram handle for `name{labels}` with the given inclusive
+    /// upper bounds (used on first registration; later calls must pass
+    /// identical bounds).
+    ///
+    /// # Panics
+    /// Panics on kind or bound mismatch with an earlier registration.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], bounds: &[f64]) -> HistogramHandle {
+        let key = Key::new(name, labels);
+        match self.cell(key, || Cell::Hist(Arc::new(Mutex::new(Histogram::new(bounds.to_vec()))))) {
+            Cell::Hist(h) => {
+                {
+                    // Bit-level identity, not numeric tolerance: bounds
+                    // are a schema, re-registration must not drift them.
+                    let cur = h.lock().expect("histogram mutex poisoned");
+                    assert!(
+                        cur.bounds().iter().map(|b| b.to_bits()).eq(bounds.iter().map(|b| b.to_bits())),
+                        "metric {name:?} re-registered with different bounds"
+                    );
+                }
+                HistogramHandle(Some(h))
+            }
+            other => panic!("metric {name:?} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Point-in-time snapshot of every registered metric, in one
+    /// canonical sorted order (shard layout is invisible).
+    pub fn snapshot(&self) -> Snapshot {
+        let mut merged: BTreeMap<Key, SnapshotValue> = BTreeMap::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("registry shard poisoned");
+            for (key, cell) in shard.iter() {
+                let value = match cell {
+                    Cell::Counter(c) => SnapshotValue::Counter(c.load(Ordering::Relaxed)),
+                    Cell::Gauge(g) => {
+                        SnapshotValue::Gauge(f64::from_bits(g.load(Ordering::Relaxed)))
+                    }
+                    Cell::Hist(h) => SnapshotValue::Histogram(
+                        h.lock().expect("histogram mutex poisoned").clone(),
+                    ),
+                };
+                merged.insert(key.clone(), value);
+            }
+        }
+        Snapshot {
+            entries: merged
+                .into_iter()
+                .map(|(key, value)| SnapshotEntry { name: key.render(), value })
+                .collect(),
+        }
+    }
+}
+
+/// Snapshotted value of one metric.
+#[derive(Debug, Clone)]
+pub enum SnapshotValue {
+    /// Monotonic count.
+    Counter(u64),
+    /// Last-written reading (NaN if never set).
+    Gauge(f64),
+    /// Full bucket state.
+    Histogram(Histogram),
+}
+
+/// One `name{labels}` entry of a [`Snapshot`].
+#[derive(Debug, Clone)]
+pub struct SnapshotEntry {
+    /// Rendered key, e.g. `sim.violations{tenant="t0003"}`.
+    pub name: String,
+    /// The value at snapshot time.
+    pub value: SnapshotValue,
+}
+
+/// A canonical, sorted snapshot of a [`MetricRegistry`].
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Entries sorted by rendered key.
+    pub entries: Vec<SnapshotEntry>,
+}
+
+impl Snapshot {
+    /// Canonical text exposition: one `key kind value` line per metric,
+    /// sorted, newline-terminated. Byte-identical across reruns and
+    /// thread counts (modulo single-writer gauges).
+    pub fn exposition(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            match &e.value {
+                SnapshotValue::Counter(v) => {
+                    out.push_str(&format!("{} counter {v}\n", e.name));
+                }
+                SnapshotValue::Gauge(v) => {
+                    out.push_str(&format!("{} gauge {}\n", e.name, fmt_f64(*v)));
+                }
+                SnapshotValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{} histogram count={} {}\n",
+                        e.name,
+                        h.count(),
+                        h.encode()
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Schema-v1 JSONL exposition: one `metric/{counter,gauge,histogram}`
+    /// event per entry, `seq` in canonical order, `ts_us` pinned to 0.
+    pub fn jsonl(&self) -> String {
+        let mut out = String::new();
+        for (i, e) in self.entries.iter().enumerate() {
+            let (kind, mut ev) = match &e.value {
+                SnapshotValue::Counter(v) => {
+                    let mut ev = Event::new(Level::Debug, "metric", "counter");
+                    ev.field("value", *v);
+                    ("counter", ev)
+                }
+                SnapshotValue::Gauge(v) => {
+                    let mut ev = Event::new(Level::Debug, "metric", "gauge");
+                    ev.field("value", *v);
+                    ("gauge", ev)
+                }
+                SnapshotValue::Histogram(h) => {
+                    let mut ev = Event::new(Level::Debug, "metric", "histogram");
+                    ev.field("count", h.count()).field("buckets", h.encode());
+                    ("histogram", ev)
+                }
+            };
+            let _ = kind;
+            ev.seq = i as u64;
+            ev.ts_us = 0;
+            ev.field("metric", e.name.as_str());
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Emit the snapshot as audit events on an [`Obs`] handle
+    /// (`telemetry/counter|gauge|histogram`).
+    pub fn emit(&self, obs: &Obs) {
+        for e in &self.entries {
+            match &e.value {
+                SnapshotValue::Counter(v) => obs.counter("telemetry", &e.name, *v),
+                SnapshotValue::Gauge(v) => obs.gauge("telemetry", &e.name, *v),
+                SnapshotValue::Histogram(h) => h.emit(obs, "telemetry", &e.name),
+            }
+        }
+    }
+
+    /// Counter value by rendered key (`None` if absent or not a counter).
+    pub fn counter_value(&self, rendered: &str) -> Option<u64> {
+        self.entries.iter().find(|e| e.name == rendered).and_then(|e| match &e.value {
+            SnapshotValue::Counter(v) => Some(*v),
+            _ => None,
+        })
+    }
+}
+
+/// Deterministic f64 rendering shared by exposition lines: shortest
+/// round-trip for finite values, explicit markers otherwise.
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "inf".to_string() } else { "-inf".to_string() }
+    } else {
+        format!("{v}")
+    }
+}
+
+/// The cheap front handle: `Option<Arc<MetricRegistry>>`, cloned freely.
+/// Dark handles hand out detached [`Counter`]/[`Gauge`]/
+/// [`HistogramHandle`]s whose recording cost is a single branch.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<MetricRegistry>>,
+}
+
+impl Telemetry {
+    /// Dark handle: records nothing, snapshots are empty.
+    pub fn noop() -> Telemetry {
+        Telemetry { inner: None }
+    }
+
+    /// Live handle over a fresh registry.
+    pub fn live() -> Telemetry {
+        Telemetry { inner: Some(Arc::new(MetricRegistry::new())) }
+    }
+
+    /// Whether recordings land anywhere.
+    pub fn is_live(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Counter handle (detached when dark).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match &self.inner {
+            Some(r) => r.counter(name, labels),
+            None => Counter::noop(),
+        }
+    }
+
+    /// Gauge handle (detached when dark).
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match &self.inner {
+            Some(r) => r.gauge(name, labels),
+            None => Gauge::noop(),
+        }
+    }
+
+    /// Histogram handle (detached when dark).
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], bounds: &[f64]) -> HistogramHandle {
+        match &self.inner {
+            Some(r) => r.histogram(name, labels, bounds),
+            None => HistogramHandle::noop(),
+        }
+    }
+
+    /// Snapshot (empty when dark).
+    pub fn snapshot(&self) -> Snapshot {
+        match &self.inner {
+            Some(r) => r.snapshot(),
+            None => Snapshot::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot_sorted() {
+        let tel = Telemetry::live();
+        let b = tel.counter("zeta.total", &[]);
+        let a = tel.counter("alpha.total", &[("tenant", "t0001")]);
+        a.inc(2);
+        a.inc(3);
+        b.inc(7);
+        let snap = tel.snapshot();
+        assert_eq!(
+            snap.exposition(),
+            "alpha.total{tenant=\"t0001\"} counter 5\nzeta.total counter 7\n"
+        );
+        assert_eq!(snap.counter_value("zeta.total"), Some(7));
+    }
+
+    #[test]
+    fn labels_are_sorted_and_deduplicated_last_wins() {
+        let tel = Telemetry::live();
+        let c = tel.counter("m", &[("b", "2"), ("a", "1"), ("b", "3")]);
+        c.inc(1);
+        assert_eq!(tel.snapshot().exposition(), "m{a=\"1\",b=\"3\"} counter 1\n");
+    }
+
+    #[test]
+    fn same_key_shares_a_cell_across_handles() {
+        let tel = Telemetry::live();
+        tel.counter("hits", &[("t", "x")]).inc(1);
+        tel.counter("hits", &[("t", "x")]).inc(1);
+        assert_eq!(tel.snapshot().counter_value("hits{t=\"x\"}"), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let tel = Telemetry::live();
+        tel.counter("m", &[]).inc(1);
+        let _ = tel.gauge("m", &[]);
+    }
+
+    #[test]
+    fn gauge_last_write_wins_and_histogram_buckets() {
+        let tel = Telemetry::live();
+        let g = tel.gauge("util", &[]);
+        g.set(0.25);
+        g.set(0.5);
+        let h = tel.histogram("lat", &[], &[1.0, 10.0]);
+        h.record(1.0);
+        h.record(5.0);
+        h.record(100.0);
+        let exp = tel.snapshot().exposition();
+        assert_eq!(exp, "lat histogram count=3 le=1:1;le=10:1;inf:1\nutil gauge 0.5\n");
+    }
+
+    #[test]
+    fn noop_handles_record_nothing() {
+        let tel = Telemetry::noop();
+        let c = tel.counter("x", &[]);
+        c.inc(5);
+        assert_eq!(c.get(), 0);
+        assert!(!tel.is_live());
+        assert!(tel.snapshot().entries.is_empty());
+        assert_eq!(tel.snapshot().exposition(), "");
+    }
+
+    #[test]
+    fn parallel_counter_increments_are_exact() {
+        let tel = Telemetry::live();
+        let c = tel.counter("par.total", &[]);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+    }
+
+    #[test]
+    fn jsonl_snapshot_is_valid_schema_v1() {
+        let tel = Telemetry::live();
+        tel.counter("c", &[("tenant", "t0000")]).inc(3);
+        tel.histogram("h", &[], &[2.0]).record(1.0);
+        let jsonl = tel.snapshot().jsonl();
+        for line in jsonl.lines() {
+            let t = rpas_obs::validate_line(line).expect("snapshot line validates");
+            assert_eq!(t.span, "metric");
+            assert_eq!(t.ts_us, 0);
+        }
+        assert_eq!(jsonl.lines().count(), 2);
+    }
+}

@@ -1,0 +1,227 @@
+//! Windowed aggregation keyed on **sim ticks** — never wall clock.
+//!
+//! A [`TickSeries`] is an append-only `(tick, value)` sequence with
+//! non-decreasing ticks. [`WindowSpec`] describes tumbling or sliding
+//! windows in tick units; [`TickSeries::windows`] materialises
+//! per-window [`WindowStat`]s (count, sum, mean, rate-per-tick, and
+//! nearest-rank quantiles). Everything is a pure function of the pushed
+//! samples, so series built from a deterministic simulation aggregate
+//! identically on every rerun and thread count.
+
+/// A window shape over the tick axis: `len` ticks wide, advancing by
+/// `stride` ticks. Tumbling windows have `stride == len`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpec {
+    /// Window width in ticks (> 0).
+    pub len: u64,
+    /// Advance between window starts in ticks (> 0).
+    pub stride: u64,
+}
+
+impl WindowSpec {
+    /// Non-overlapping back-to-back windows.
+    ///
+    /// # Panics
+    /// Panics if `len == 0`.
+    pub fn tumbling(len: u64) -> WindowSpec {
+        assert!(len > 0, "window length must be positive");
+        WindowSpec { len, stride: len }
+    }
+
+    /// Overlapping windows advancing by `stride`.
+    ///
+    /// # Panics
+    /// Panics if `len == 0` or `stride == 0`.
+    pub fn sliding(len: u64, stride: u64) -> WindowSpec {
+        assert!(len > 0, "window length must be positive");
+        assert!(stride > 0, "window stride must be positive");
+        WindowSpec { len, stride }
+    }
+}
+
+/// Aggregates of one window `[start, end)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowStat {
+    /// First tick covered (inclusive).
+    pub start: u64,
+    /// One past the last tick covered (exclusive).
+    pub end: u64,
+    /// Samples inside the window.
+    pub count: u64,
+    /// Sum of sample values.
+    pub sum: f64,
+    /// Mean sample value (NaN for an empty window).
+    pub mean: f64,
+    /// Samples per tick (`count / len`).
+    pub rate: f64,
+    /// Nearest-rank quantiles of the window's samples, parallel to the
+    /// `qs` argument of [`TickSeries::windows`] (NaN when empty).
+    pub quantiles: Vec<f64>,
+}
+
+/// Append-only `(tick, value)` series with non-decreasing ticks.
+#[derive(Debug, Clone, Default)]
+pub struct TickSeries {
+    ticks: Vec<u64>,
+    values: Vec<f64>,
+}
+
+impl TickSeries {
+    /// Empty series.
+    pub fn new() -> TickSeries {
+        TickSeries::default()
+    }
+
+    /// Append one sample.
+    ///
+    /// # Panics
+    /// Panics if `tick` is below the last pushed tick (series are
+    /// recorded in simulation order).
+    pub fn push(&mut self, tick: u64, value: f64) {
+        if let Some(&last) = self.ticks.last() {
+            assert!(tick >= last, "ticks must be non-decreasing ({tick} after {last})");
+        }
+        self.ticks.push(tick);
+        self.values.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.ticks.len()
+    }
+
+    /// Whether no sample was pushed.
+    pub fn is_empty(&self) -> bool {
+        self.ticks.is_empty()
+    }
+
+    /// Last tick pushed (`None` when empty).
+    pub fn last_tick(&self) -> Option<u64> {
+        self.ticks.last().copied()
+    }
+
+    /// Aggregate over all windows of `spec` that fit in
+    /// `[0, last_tick]`, in start order. Each [`WindowStat`] carries one
+    /// nearest-rank quantile per entry of `qs` (each in `[0, 1]`).
+    ///
+    /// # Panics
+    /// Panics if any `q` is outside `[0, 1]`.
+    pub fn windows(&self, spec: WindowSpec, qs: &[f64]) -> Vec<WindowStat> {
+        for &q in qs {
+            assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        }
+        let Some(last) = self.last_tick() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut start = 0u64;
+        while start <= last {
+            let end = start + spec.len;
+            // Samples are tick-ordered, so each window is a contiguous
+            // slice found by binary search.
+            let lo = self.ticks.partition_point(|&t| t < start);
+            let hi = self.ticks.partition_point(|&t| t < end);
+            out.push(window_stat(start, end, &self.values[lo..hi], spec.len, qs));
+            start += spec.stride;
+        }
+        out
+    }
+}
+
+fn window_stat(start: u64, end: u64, values: &[f64], len: u64, qs: &[f64]) -> WindowStat {
+    let count = values.len() as u64;
+    let sum: f64 = values.iter().sum();
+    let mean = if count == 0 { f64::NAN } else { sum / count as f64 };
+    let rate = count as f64 / len as f64;
+    let quantiles = if count == 0 {
+        qs.iter().map(|_| f64::NAN).collect()
+    } else {
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        qs.iter()
+            .map(|&q| {
+                // Nearest-rank: same estimator the QoS aggregates use.
+                let rank = (q * count as f64).ceil().max(1.0) as usize;
+                sorted[rank.min(sorted.len()) - 1]
+            })
+            .collect()
+    };
+    WindowStat { start, end, count, sum, mean, rate, quantiles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    fn series(pairs: &[(u64, f64)]) -> TickSeries {
+        let mut s = TickSeries::new();
+        for &(t, v) in pairs {
+            s.push(t, v);
+        }
+        s
+    }
+
+    #[test]
+    fn tumbling_windows_partition_the_axis() {
+        let s = series(&[(0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0), (4, 5.0)]);
+        let w = s.windows(WindowSpec::tumbling(2), &[]);
+        assert_eq!(w.len(), 3);
+        assert_eq!((w[0].start, w[0].end, w[0].count), (0, 2, 2));
+        assert!(close(w[0].sum, 3.0) && close(w[0].mean, 1.5) && close(w[0].rate, 1.0));
+        assert_eq!((w[2].start, w[2].end, w[2].count), (4, 6, 1));
+        assert!(close(w[2].rate, 0.5));
+    }
+
+    #[test]
+    fn sliding_windows_overlap() {
+        let s = series(&[(0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0)]);
+        let w = s.windows(WindowSpec::sliding(2, 1), &[]);
+        assert_eq!(w.len(), 4);
+        assert!(close(w[1].sum, 5.0)); // ticks 1..3
+        assert!(close(w[2].sum, 7.0)); // ticks 2..4
+    }
+
+    #[test]
+    fn window_boundaries_are_half_open() {
+        // A sample exactly at `end` belongs to the next window.
+        let s = series(&[(2, 9.0)]);
+        let w = s.windows(WindowSpec::tumbling(2), &[]);
+        assert_eq!(w[0].count, 0);
+        assert_eq!(w[1].count, 1);
+    }
+
+    #[test]
+    fn quantiles_are_nearest_rank() {
+        let s = series(&[(0, 4.0), (1, 1.0), (2, 3.0), (3, 2.0)]);
+        let w = s.windows(WindowSpec::tumbling(4), &[0.0, 0.5, 0.95, 1.0]);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].quantiles.iter().map(|q| *q as i64).collect::<Vec<_>>(), vec![1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn empty_windows_report_nan_stats() {
+        let s = series(&[(5, 1.0)]);
+        let w = s.windows(WindowSpec::tumbling(2), &[0.5]);
+        assert_eq!(w.len(), 3);
+        assert!(w[0].mean.is_nan() && w[0].quantiles[0].is_nan());
+        assert!(close(w[0].rate, 0.0));
+        assert_eq!(w[2].count, 1);
+    }
+
+    #[test]
+    fn empty_series_has_no_windows() {
+        assert!(TickSeries::new().windows(WindowSpec::tumbling(4), &[0.5]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn decreasing_ticks_panic() {
+        let mut s = TickSeries::new();
+        s.push(3, 1.0);
+        s.push(2, 1.0);
+    }
+}

@@ -119,6 +119,70 @@ grep -q '"tenant":"t0000"' "$trace_tmp/f1.jsonl" || {
 }
 echo "ok: fleet summary and tenant trace independent of thread count"
 
+echo "== telemetry gate (SLO report, metrics, obs query/diff, noop budget) =="
+# 1. The SLO report and metric exposition must be byte-identical across
+#    thread counts — the telemetry pipeline shares the fleet's
+#    determinism contract.
+RPAS_LOG=off RPAS_THREADS=1 cargo run -q --release --offline --bin cli -- \
+    fleet --tenants 8 --days 2 --slo-report \
+    --metrics-out "$trace_tmp/m1.txt" --trace-out "$trace_tmp/slo1.jsonl" \
+    > "$trace_tmp/slo1.txt"
+RPAS_LOG=off RPAS_THREADS=2 cargo run -q --release --offline --bin cli -- \
+    fleet --tenants 8 --days 2 --slo-report \
+    --metrics-out "$trace_tmp/m2.txt" --trace-out "$trace_tmp/slo2.jsonl" \
+    > "$trace_tmp/slo2.txt"
+# The only permitted difference is the echoed output paths.
+diff <(grep -v "^wrote " "$trace_tmp/slo1.txt") \
+     <(grep -v "^wrote " "$trace_tmp/slo2.txt")
+diff "$trace_tmp/m1.txt" "$trace_tmp/m2.txt"
+grep -q "^SLO violation_rate" "$trace_tmp/slo1.txt" || {
+    echo "ERROR: fleet --slo-report did not print an SLO report" >&2
+    exit 1
+}
+grep -q "^sim.steps{tenant=\"t0000\"} counter" "$trace_tmp/m1.txt" || {
+    echo "ERROR: metric exposition is missing per-tenant counters" >&2
+    exit 1
+}
+echo "ok: SLO report and metric exposition independent of thread count"
+
+# 2. obs diff of a run against its rerun must report zero divergence
+#    (and exit 0 — obs diff exits 1 on divergence).
+cargo run -q --release --offline --bin cli -- \
+    obs diff --a "$trace_tmp/slo1.jsonl" --b "$trace_tmp/slo2.jsonl" \
+    > "$trace_tmp/diff.txt"
+grep -q "divergence        : none" "$trace_tmp/diff.txt" || {
+    echo "ERROR: obs diff found divergence between identical reruns" >&2
+    exit 1
+}
+echo "ok: obs diff reports zero divergence across reruns"
+
+# 3. obs query round-trip: per-tenant violation counts from the trace
+#    must agree with the SLO report's bad column.
+cargo run -q --release --offline --bin cli -- \
+    obs query --trace "$trace_tmp/slo1.jsonl" --span sim --event step \
+    --where violation=true --group-by tenant > "$trace_tmp/q.txt"
+sed -n '/^SLO /,$p' "$trace_tmp/slo1.txt" > "$trace_tmp/slo_table.txt"
+for t in t0000 t0007; do
+    bad_slo="$(awk -v t="$t" '$1 == t {print $3}' "$trace_tmp/slo_table.txt")"
+    bad_query="$(awk -v t="$t" '$1 == t {print int($2)}' "$trace_tmp/q.txt")"
+    [[ -n "$bad_slo" && "$bad_slo" == "${bad_query:-0}" ]] || {
+        echo "ERROR: $t SLO bad=$bad_slo != obs query count=${bad_query:-0}" >&2
+        exit 1
+    }
+done
+echo "ok: obs query violation counts agree with the SLO report"
+
+# 4. The telemetry dark path must stay within the pinned budget
+#    (telemetry-budget.json; the bench exits 1 on breach).
+RPAS_BENCH_SAMPLES=3 cargo run -q --release --offline -p rpas-bench \
+    --bin telemetry_overhead > "$trace_tmp/overhead.txt"
+grep -q "— OK" "$trace_tmp/overhead.txt" || {
+    cat "$trace_tmp/overhead.txt" >&2
+    echo "ERROR: telemetry noop overhead exceeded telemetry-budget.json" >&2
+    exit 1
+}
+echo "ok: telemetry dark path within the pinned budget"
+
 if [[ "${RPAS_VERIFY_PARALLEL:-0}" == "1" ]]; then
     echo "== table1 thread-count invariance =="
     tmp="$(mktemp -d)"

@@ -19,7 +19,10 @@ use rpas::forecast::{
     Arima, ArimaConfig, DeepAr, DeepArConfig, Forecaster, HoltWinters, HoltWintersConfig,
     MlpProb, MlpProbConfig, SeasonalNaive, Tft, TftConfig, SCALING_LEVELS,
 };
-use rpas::obs::{validate_line, Histogram, Obs, TraceLine};
+use rpas::obs::{validate_line, Histogram, Level, Obs, TraceLine};
+use rpas::telemetry::{
+    diff_traces, run_query, Aggregate, GroupBy, QueryFilter, SloSpec, Telemetry,
+};
 use rpas::simdb::{FaultConfig, FaultPlan, SimConfig, Simulation, SimulationReport};
 use rpas::traces::csv::{read_column, write_columns_to_path, write_trace};
 use rpas::traces::{alibaba_like, google_like, Trace, STEPS_PER_DAY};
@@ -69,8 +72,21 @@ COMMANDS
              --worst N (5)  — tenants listed in the regret table
              --trace-out FILE  (deterministic tenant-scoped JSONL —
              unlike other commands, not the live event stream)
+             --slo-report [on|off]  — evaluate the violation-rate SLO
+             (error budget + multi-window burn-rate alerts) per tenant
+             and fleet-wide; deterministic at any RPAS_THREADS
+             --metrics-out FILE  — write the metric registry snapshot
+             (canonical text exposition) after the run
   trace-report  summarize a schema-v1 JSONL trace
              --trace FILE
+  obs query  filter/group/aggregate a schema-v1 JSONL trace
+             --trace FILE  [--span S] [--event E] [--level L]
+             [--tenant T] [--where k=v[,k=v...]]
+             --group-by all|span|event|level|tenant|field:<name> (event)
+             --agg count|sum:<f>|mean:<f>|min:<f>|max:<f> (count)
+  obs diff   structural diff of two schema-v1 JSONL traces
+             --a FILE  --b FILE  (event-count deltas, metric deltas,
+             first content divergence; timing fields are ignored)
 
 ENVIRONMENT
   RPAS_LOG        stderr verbosity: error|warn|info|debug|off (info)
@@ -80,13 +96,34 @@ ENVIRONMENT
 Any command also accepts --trace-out FILE, overriding RPAS_TRACE_OUT.
 ";
 
+/// Pre-parse normalization: fold the two-token `obs query`/`obs diff`
+/// spellings into one command, and give bare boolean flags an explicit
+/// value (the flag grammar is strictly `--key value`).
+fn normalize(mut args: Vec<String>) -> Vec<String> {
+    if args.len() >= 2 && args[0] == "obs" && !args[1].starts_with("--") {
+        let sub = args.remove(1);
+        args[0] = format!("obs-{sub}");
+    }
+    const BOOL_FLAGS: &[&str] = &["--slo-report"];
+    let mut out = Vec::with_capacity(args.len() + 1);
+    for i in 0..args.len() {
+        out.push(args[i].clone());
+        if BOOL_FLAGS.contains(&args[i].as_str())
+            && !args.get(i + 1).is_some_and(|n| !n.starts_with("--"))
+        {
+            out.push("on".to_string());
+        }
+    }
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "help" {
         print!("{USAGE}");
         return;
     }
-    match run(args) {
+    match run(normalize(args)) {
         Ok(()) => {}
         Err(e) => {
             // Diagnostics route through the obs stderr sink (RPAS_LOG),
@@ -124,6 +161,8 @@ fn run(args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
         "chaos" => chaos(&a, &obs),
         "fleet" => fleet(&a, &obs),
         "trace-report" => trace_report(&a),
+        "obs-query" => obs_query(&a),
+        "obs-diff" => obs_diff(&a),
         other => Err(format!("unknown command {other:?}").into()),
     };
     obs.flush();
@@ -745,6 +784,12 @@ fn fleet(a: &ParsedArgs, obs: &Obs) -> Result<(), Box<dyn std::error::Error>> {
         }
     };
 
+    let slo_report = match a.get("slo-report").unwrap_or("off") {
+        "on" | "true" | "1" => true,
+        "off" | "false" | "0" => false,
+        other => return Err(format!("--slo-report takes on|off, got {other:?}").into()),
+    };
+    let metrics_out = a.get("metrics-out");
     let trace_out = a.get("trace-out");
     let cfg = FleetConfig {
         tenants,
@@ -759,12 +804,17 @@ fn fleet(a: &ParsedArgs, obs: &Obs) -> Result<(), Box<dyn std::error::Error>> {
         resilience: ResilienceConfig::default(),
         faults,
         capture_events: trace_out.is_some(),
+        slo: slo_report.then(SloSpec::violation_rate_default),
     };
 
     obs.info("fleet", "start", |e| {
         e.field("tenants", tenants).field("days", days).field("seed", seed);
     });
-    let mut engine = FleetEngine::new(&cfg);
+    // The registry only pays its recording cost when something will read
+    // it; otherwise every handle stays on the dark path.
+    let tel =
+        if metrics_out.is_some() { Telemetry::live() } else { Telemetry::noop() };
+    let mut engine = FleetEngine::with_telemetry(&cfg, &tel).with_obs(obs.clone());
     engine.run_to_completion();
     let report = engine.finish();
 
@@ -801,6 +851,17 @@ fn fleet(a: &ParsedArgs, obs: &Obs) -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
+    if let Some(slo) = &report.slo {
+        println!();
+        print!("{}", slo.render());
+    }
+
+    if let Some(path) = metrics_out {
+        let expo = tel.snapshot().exposition();
+        std::fs::write(path, &expo)?;
+        println!("wrote {} metric(s) to {path}", expo.lines().count());
+    }
+
     if let Some(path) = trace_out {
         let mut text = String::with_capacity(report.trace_lines.len() * 128);
         for line in &report.trace_lines {
@@ -809,6 +870,63 @@ fn fleet(a: &ParsedArgs, obs: &Obs) -> Result<(), Box<dyn std::error::Error>> {
         }
         std::fs::write(path, &text)?;
         println!("wrote {} tenant-scoped trace events to {path}", report.trace_lines.len());
+    }
+    Ok(())
+}
+
+/// Load and schema-validate a JSONL trace file for the `obs` tooling.
+fn load_jsonl(path: &str) -> Result<Vec<TraceLine>, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    let mut lines = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        if raw.trim().is_empty() {
+            continue;
+        }
+        lines.push(validate_line(raw).map_err(|e| format!("{path}:{}: {e}", i + 1))?);
+    }
+    Ok(lines)
+}
+
+/// `obs query`: filter, group, and aggregate a recorded trace.
+fn obs_query(a: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let lines = load_jsonl(a.require("trace")?)?;
+    let mut filter = QueryFilter {
+        span: a.get("span").map(str::to_string),
+        event: a.get("event").map(str::to_string),
+        level: match a.get("level") {
+            None => None,
+            Some(raw) => {
+                Some(Level::parse(raw).ok_or_else(|| format!("unknown level {raw:?}"))?)
+            }
+        },
+        field_equals: Vec::new(),
+    };
+    if let Some(tenant) = a.get("tenant") {
+        filter.field_equals.push(("tenant".to_string(), tenant.to_string()));
+    }
+    if let Some(spec) = a.get("where") {
+        for clause in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let (k, v) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("bad --where clause {clause:?} (want k=v)"))?;
+            filter.field_equals.push((k.to_string(), v.to_string()));
+        }
+    }
+    let group = GroupBy::parse(a.get("group-by").unwrap_or("event"))?;
+    let agg = Aggregate::parse(a.get("agg").unwrap_or("count"))?;
+    print!("{}", run_query(&lines, &filter, &group, &agg).render());
+    Ok(())
+}
+
+/// `obs diff`: structural diff of two recorded traces. Exits nonzero when
+/// the traces diverge, so scripts can assert determinism directly.
+fn obs_diff(a: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let ta = load_jsonl(a.require("a")?)?;
+    let tb = load_jsonl(a.require("b")?)?;
+    let d = diff_traces(&ta, &tb);
+    print!("{}", d.render());
+    if !d.is_identical() {
+        return Err("traces diverge".into());
     }
     Ok(())
 }

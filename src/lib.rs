@@ -41,5 +41,6 @@ pub use rpas_lp as lp;
 pub use rpas_metrics as metrics;
 pub use rpas_nn as nn;
 pub use rpas_simdb as simdb;
+pub use rpas_telemetry as telemetry;
 pub use rpas_traces as traces;
 pub use rpas_tsmath as tsmath;

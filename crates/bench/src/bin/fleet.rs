@@ -126,6 +126,28 @@ fn main() {
         e.field("run_us", tel_run * 1e6).field("overhead_frac", tel_overhead);
     });
 
+    // Supervised variant at the default thread count: what the
+    // FleetSupervisor's panic isolation (catch_unwind per tenant step,
+    // guard bookkeeping, outage series) adds to a healthy fleet run.
+    let mut sup_run = f64::INFINITY;
+    for _ in 0..samples {
+        let engine = FleetEngine::new(&cfg);
+        let mut sup = rpas_core::FleetSupervisor::wrap(engine);
+        let t = Instant::now();
+        sup.run_to_completion();
+        sup_run = sup_run.min(t.elapsed().as_secs_f64());
+        std::hint::black_box(sup.finish());
+    }
+    let sup_overhead = sup_run / max_row.run_secs - 1.0;
+    println!(
+        "supervised: run {sup_run:.3} s ({:+.1}% vs bare engine at {} thread(s))",
+        sup_overhead * 100.0,
+        max_row.threads
+    );
+    bench_obs().debug("bench", "fleet_supervisor_overhead", |e| {
+        e.field("run_us", sup_run * 1e6).field("overhead_frac", sup_overhead);
+    });
+
     // Hand-rolled JSON (the workspace has no serde); one object per file.
     let mut json = String::new();
     json.push_str("{\n");
@@ -149,7 +171,10 @@ fn main() {
     json.push_str("  ],\n");
     json.push_str(&format!("  \"speedup_max_vs_1\": {speedup:.3},\n"));
     json.push_str(&format!(
-        "  \"telemetry_run_secs\": {tel_run:.6},\n  \"telemetry_overhead_frac\": {tel_overhead:.4}\n"
+        "  \"telemetry_run_secs\": {tel_run:.6},\n  \"telemetry_overhead_frac\": {tel_overhead:.4},\n"
+    ));
+    json.push_str(&format!(
+        "  \"supervised_run_secs\": {sup_run:.6},\n  \"supervised_overhead_frac\": {sup_overhead:.4}\n"
     ));
     json.push_str("}\n");
 

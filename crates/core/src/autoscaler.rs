@@ -57,6 +57,26 @@ impl<F: Forecaster> QuantilePredictivePolicy<F> {
         &self.forecaster
     }
 
+    /// Mutable access to the wrapped forecaster, for checkpoint restore
+    /// (re-injecting fitted state without re-running the fit).
+    pub fn forecaster_mut(&mut self) -> &mut F {
+        &mut self.forecaster
+    }
+
+    /// The rolling-plan cursor: `(plan, plan_start, degraded)`. Together
+    /// with the forecaster's fitted state this is the policy's entire
+    /// mutable state, which makes it checkpointable.
+    pub fn plan_state(&self) -> (&[u32], usize, bool) {
+        (&self.plan, self.plan_start, self.degraded)
+    }
+
+    /// Overwrite the rolling-plan cursor from a checkpoint.
+    pub fn restore_plan_state(&mut self, plan: Vec<u32>, plan_start: usize, degraded: bool) {
+        self.plan = plan;
+        self.plan_start = plan_start;
+        self.degraded = degraded;
+    }
+
     fn position_in_plan(&self, step: usize) -> Option<usize> {
         if step >= self.plan_start && step - self.plan_start < self.plan.len() {
             Some(step - self.plan_start)

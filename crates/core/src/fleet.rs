@@ -239,14 +239,50 @@ impl FleetConfig {
     }
 }
 
+/// A tenant's policy in concrete form. The fleet builds one of the three
+/// named variants — keeping the concrete types (rather than a trait
+/// object) is what makes policy state checkpointable. `Custom` is the
+/// chaos/testing escape hatch ([`FleetEngine::set_policy`]); tenants
+/// running one cannot be checkpointed.
+pub(crate) enum TenantPolicy {
+    /// Reactive-Max baseline (stateless).
+    ReactiveMax(ReactiveMax),
+    /// Robust predictive policy.
+    Predictive(QuantilePredictivePolicy<SeasonalNaive>),
+    /// Predictive policy inside the graceful-degradation ladder.
+    Resilient(Box<ResilientManager<QuantilePredictivePolicy<SeasonalNaive>>>),
+    /// Arbitrary injected policy (not checkpointable).
+    Custom(Box<dyn ScalingPolicy + Send>),
+}
+
+impl TenantPolicy {
+    pub(crate) fn as_dyn_mut(&mut self) -> &mut dyn ScalingPolicy {
+        match self {
+            TenantPolicy::ReactiveMax(p) => p,
+            TenantPolicy::Predictive(p) => p,
+            TenantPolicy::Resilient(p) => p.as_mut(),
+            TenantPolicy::Custom(p) => p.as_mut(),
+        }
+    }
+
+    pub(crate) fn name(&self) -> &'static str {
+        match self {
+            TenantPolicy::ReactiveMax(p) => p.name(),
+            TenantPolicy::Predictive(p) => p.name(),
+            TenantPolicy::Resilient(p) => p.name(),
+            TenantPolicy::Custom(p) => p.name(),
+        }
+    }
+}
+
 /// One tenant's live state: its spec, its scaling policy (with any fitted
 /// forecaster inside), its steppable simulation, and the optional event
 /// capture.
 pub struct TenantRun {
-    spec: TenantSpec,
-    policy: Box<dyn ScalingPolicy + Send>,
-    session: SimSession,
-    capture: Option<MemorySink>,
+    pub(crate) spec: TenantSpec,
+    pub(crate) policy: TenantPolicy,
+    pub(crate) session: SimSession,
+    pub(crate) capture: Option<MemorySink>,
 }
 
 impl TenantRun {
@@ -286,14 +322,14 @@ impl TenantRun {
                 .with_obs(obs.clone());
             QuantilePredictivePolicy::new("predictive", fc, manager, spec.schedule)
         };
-        let policy: Box<dyn ScalingPolicy + Send> = match spec.policy {
-            TenantPolicyKind::ReactiveMax => Box::new(ReactiveMax::new(6)),
-            TenantPolicyKind::Predictive => Box::new(make_predictive()),
-            TenantPolicyKind::Resilient => Box::new(
+        let policy = match spec.policy {
+            TenantPolicyKind::ReactiveMax => TenantPolicy::ReactiveMax(ReactiveMax::new(6)),
+            TenantPolicyKind::Predictive => TenantPolicy::Predictive(make_predictive()),
+            TenantPolicyKind::Resilient => TenantPolicy::Resilient(Box::new(
                 ResilientManager::with_config(make_predictive(), spec.resilience)
                     .with_obs(obs.clone())
                     .with_telemetry(tel, &labels),
-            ),
+            )),
         };
 
         let cfg = SimConfig {
@@ -341,6 +377,24 @@ pub struct TenantSummary {
     pub faults_applied: u64,
 }
 
+/// A tenant still quarantined when the fleet shut down (see
+/// `FleetSupervisor` in [`crate::supervisor`]). Its session was finished
+/// on the executed prefix like everyone else's; this record carries the
+/// why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantineRecord {
+    /// Tenant identity.
+    pub id: TenantId,
+    /// Why the circuit breaker opened (threshold statement).
+    pub reason: String,
+    /// Message of the tenant's most recent panic.
+    pub last_error: Option<String>,
+    /// How many times this tenant has been quarantined over the run.
+    pub strikes: u32,
+    /// Supervisor tick at which the current quarantine would have expired.
+    pub until_tick: u64,
+}
+
 /// The outcome of a fleet run: per-tenant summaries (in tenant order),
 /// the fleet QoS aggregate, and — when event capture was on — the
 /// deterministic tenant-scoped trace.
@@ -359,6 +413,12 @@ pub struct FleetReport {
     /// SLO evaluation (per tenant + `fleet`), present when
     /// [`FleetConfig::slo`] was set.
     pub slo: Option<SloReport>,
+    /// Tenants still quarantined at shutdown, in tenant-id order. Empty
+    /// for unsupervised runs and healthy fleets.
+    pub quarantined: Vec<QuarantineRecord>,
+    /// Fleet-availability SLO evaluation (the fraction of tenant-ticks
+    /// lost to quarantine), present for supervised runs.
+    pub availability: Option<SloReport>,
 }
 
 impl FleetReport {
@@ -388,9 +448,9 @@ fn sanitize_event(ev: &Event, id: TenantId, seq: u64) -> String {
 
 /// A fleet of tenants advanced in lockstep over the shared worker pool.
 pub struct FleetEngine {
-    runs: Vec<TenantRun>,
-    slo: Option<SloSpec>,
-    obs: Obs,
+    pub(crate) runs: Vec<TenantRun>,
+    pub(crate) slo: Option<SloSpec>,
+    pub(crate) obs: Obs,
 }
 
 impl FleetEngine {
@@ -429,13 +489,23 @@ impl FleetEngine {
         &self.runs
     }
 
+    /// Replace one tenant's policy with an arbitrary implementation — the
+    /// chaos/testing hook behind the supervisor's panic-isolation tests.
+    /// A fleet containing a custom policy cannot be checkpointed.
+    ///
+    /// # Panics
+    /// Panics when `tenant` is out of range.
+    pub fn set_policy(&mut self, tenant: usize, policy: Box<dyn ScalingPolicy + Send>) {
+        self.runs[tenant].policy = TenantPolicy::Custom(policy);
+    }
+
     /// Advance every unfinished tenant by one decision tick, fanning the
     /// steps over the worker pool. Returns the number of tenants that
     /// stepped (0 when the whole fleet is done).
     pub fn tick(&mut self) -> usize {
         let stepped = std::sync::atomic::AtomicUsize::new(0);
         par_for_each_mut(&mut self.runs, |_, run| {
-            if run.session.step(run.policy.as_mut()) {
+            if run.session.step(run.policy.as_dyn_mut()) {
                 stepped.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             }
         });
@@ -447,13 +517,27 @@ impl FleetEngine {
     /// remaining run is one pool job (no per-tick fan-out overhead).
     pub fn run_to_completion(&mut self) {
         par_for_each_mut(&mut self.runs, |_, run| {
-            while run.session.step(run.policy.as_mut()) {}
+            while run.session.step(run.policy.as_dyn_mut()) {}
         });
     }
 
     /// Finish every tenant's session and aggregate the fleet report.
     /// Unfinished tenants are scored on their executed prefix.
     pub fn finish(self) -> FleetReport {
+        self.finish_supervised(Vec::new(), None)
+    }
+
+    /// [`FleetEngine::finish`] with supervision results attached: the
+    /// supervisor passes the tenants still quarantined at shutdown and
+    /// the fleet-availability evaluation. Quarantined tenants take the
+    /// same path as everyone else — their sessions are finished on the
+    /// executed prefix and their capture buffers are *drained* into the
+    /// trace, never dropped.
+    pub(crate) fn finish_supervised(
+        self,
+        quarantined: Vec<QuarantineRecord>,
+        availability: Option<SloReport>,
+    ) -> FleetReport {
         let mut tenants = Vec::with_capacity(self.runs.len());
         let mut trace_lines = Vec::new();
         let mut subjects: Vec<(String, RatioSeries)> = Vec::new();
@@ -465,7 +549,22 @@ impl FleetEngine {
                     session.records().iter().map(|s| s.violation).collect();
                 subjects.push((spec.id.to_string(), RatioSeries::from_bools(&flags)));
             }
-            let report: SimulationReport = session.finish(policy.name());
+            let (qos, faults_applied) = if session.records().is_empty() {
+                // A tenant that never completed a tick (quarantined from
+                // its first decision) has no allocation to score; its
+                // fault accounting from partial steps still counts.
+                let zero = TenantQos {
+                    steps: 0,
+                    violation_rate: 0.0,
+                    over_provision_node_steps: 0,
+                    node_steps: 0,
+                    regret_node_steps: 0,
+                };
+                (zero, session.snapshot().counts.total())
+            } else {
+                let report: SimulationReport = session.finish(policy.name());
+                (tenant_qos(&report, spec.theta, spec.min_nodes), report.faults.total())
+            };
             if let Some(mem) = capture {
                 // drain, not events(): the sink is finished with, so take
                 // the buffer instead of cloning it.
@@ -478,8 +577,8 @@ impl FleetEngine {
                 id: spec.id,
                 preset: spec.preset.name(),
                 policy: spec.policy.name(),
-                qos: tenant_qos(&report, spec.theta, spec.min_nodes),
-                faults_applied: report.faults.total(),
+                qos,
+                faults_applied,
             });
         }
         let qos = fleet_qos(
@@ -487,7 +586,7 @@ impl FleetEngine {
         );
         let slo =
             self.slo.as_ref().map(|spec| SloReport::evaluate(spec, &subjects, &self.obs));
-        FleetReport { tenants, qos, trace_lines, slo }
+        FleetReport { tenants, qos, trace_lines, slo, quarantined, availability }
     }
 }
 

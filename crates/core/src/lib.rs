@@ -32,6 +32,7 @@
 pub mod adaptive;
 pub mod autoscaler;
 pub mod backtest;
+pub mod checkpoint;
 pub mod eval;
 pub mod fleet;
 pub mod manager;
@@ -41,6 +42,7 @@ pub mod reactive;
 pub mod resilient;
 pub mod robust;
 pub mod rolling;
+pub mod supervisor;
 pub mod thrash;
 pub mod uncertainty;
 
@@ -55,20 +57,22 @@ pub use eval::{
     forecast_windows,
 };
 pub use fleet::{
-    FleetConfig, FleetEngine, FleetReport, TenantId, TenantPolicyKind, TenantRun, TenantSpec,
-    TenantSummary, TracePreset,
+    FleetConfig, FleetEngine, FleetReport, QuarantineRecord, TenantId, TenantPolicyKind,
+    TenantRun, TenantSpec, TenantSummary, TracePreset,
 };
 pub use manager::{PlanningBackend, RobustAutoScalingManager, ScalingStrategy};
 pub use multi::{plan_multi_resource, MultiResourcePlan, ResourceDimension};
 pub use plan::{plan_point, plan_point_lp, CapacityPlan};
 pub use reactive::{ReactiveAvg, ReactiveMax};
 pub use resilient::{
-    forecast_health, ForecastHealthGate, ResilienceConfig, ResilientManager, Tier,
+    forecast_health, ForecastHealthGate, NaiveSnapshot, ResilienceConfig, ResilientManager,
+    ResilientSnapshot, Tier,
 };
 pub use robust::{plan_robust, plan_robust_lp, plan_robust_obs};
 pub use rolling::{
     plan_windows, plan_windows_obs, quantile_windows, quantile_windows_obs, PlannedWindow,
     RollingSpec,
 };
+pub use supervisor::{FleetSupervisor, SupervisorConfig, TenantHealth};
 pub use thrash::{clamp_step, smooth_plan, ThrashConfig, ThrashLimited};
 pub use uncertainty::{uncertainty_at, uncertainty_series};

@@ -75,6 +75,11 @@ impl<F> ForecastHealthGate<F> {
     pub fn inner(&self) -> &F {
         &self.inner
     }
+
+    /// Mutable access to the wrapped forecaster, for checkpoint restore.
+    pub fn inner_mut(&mut self) -> &mut F {
+        &mut self.inner
+    }
 }
 
 /// Check a forecast for health problems relative to its context. Returns
@@ -184,11 +189,22 @@ pub enum Tier {
 }
 
 impl Tier {
-    fn label(self) -> &'static str {
+    /// Stable lowercase label for obs fields and checkpoints.
+    pub fn label(self) -> &'static str {
         match self {
             Tier::Primary => "primary",
             Tier::SeasonalNaive => "seasonal-naive",
             Tier::ReactiveMax => "reactive-max",
+        }
+    }
+
+    /// Inverse of [`Tier::label`], for checkpoint restore.
+    pub fn parse(label: &str) -> Option<Self> {
+        match label {
+            "primary" => Some(Tier::Primary),
+            "seasonal-naive" => Some(Tier::SeasonalNaive),
+            "reactive-max" => Some(Tier::ReactiveMax),
+            _ => None,
         }
     }
 
@@ -215,6 +231,41 @@ struct Retry {
 }
 
 type NaiveFallback = QuantilePredictivePolicy<ForecastHealthGate<SeasonalNaive>>;
+
+/// Checkpointable state of the tier-1 seasonal-naive fallback: the fitted
+/// residual spread plus the rolling-plan cursor. Everything else about the
+/// fallback (period, horizon, health-gate limits, planning strategy) is
+/// derived from [`ResilienceConfig`] and the tenant parameters at restore.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaiveSnapshot {
+    /// Fitted residual spread of the seasonal-naive model.
+    pub sigma: Option<f64>,
+    /// Current rolling plan (node targets from `plan_start`).
+    pub plan: Vec<u32>,
+    /// Step at which `plan` starts.
+    pub plan_start: usize,
+    /// Whether the most recent replan fell back to the reactive bootstrap.
+    pub degraded: bool,
+}
+
+/// Checkpointable state of a [`ResilientManager`], *excluding* the wrapped
+/// primary policy (the caller snapshots that separately via its own
+/// accessors). The Reactive-Max backstop is stateless and the obs/telemetry
+/// handles are reattached at rebuild, so this plus the primary's state
+/// fully determines future decisions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientSnapshot {
+    /// Active fallback tier.
+    pub tier: Tier,
+    /// Last granted target (guardrail anchor / hold-last value).
+    pub last_target: Option<u32>,
+    /// Healthy steps accumulated at a demoted tier.
+    pub probation: usize,
+    /// Active retry ladder as `(want, left, wait)`.
+    pub retry: Option<(u32, u32, u32)>,
+    /// Tier-1 fallback state, when one has been built.
+    pub naive: Option<NaiveSnapshot>,
+}
 
 /// Registry counters for the degradation ladder, one per transition
 /// kind (all dark by default; see [`ResilientManager::with_telemetry`]).
@@ -314,6 +365,66 @@ impl<P: ScalingPolicy> ResilientManager<P> {
     /// Access the wrapped primary policy.
     pub fn primary(&self) -> &P {
         &self.primary
+    }
+
+    /// Mutable access to the wrapped primary policy, for checkpoint
+    /// restore of its own state.
+    pub fn primary_mut(&mut self) -> &mut P {
+        &mut self.primary
+    }
+
+    /// Capture the manager's mutable state (see [`ResilientSnapshot`] for
+    /// what is and is not included).
+    pub fn snapshot_state(&self) -> ResilientSnapshot {
+        ResilientSnapshot {
+            tier: self.tier,
+            last_target: self.last_target,
+            probation: self.probation,
+            retry: self.retry.map(|r| (r.want, r.left, r.wait)),
+            naive: self.naive.as_ref().map(|n| {
+                let (plan, plan_start, degraded) = n.plan_state();
+                NaiveSnapshot {
+                    sigma: n.forecaster().inner().sigma(),
+                    plan: plan.to_vec(),
+                    plan_start,
+                    degraded,
+                }
+            }),
+        }
+    }
+
+    /// Overwrite the manager's mutable state from a checkpoint. `theta`
+    /// and `min_nodes` are the tenant parameters [`build_naive`] would
+    /// have seen at demote time (the fallback's planner is parameterised
+    /// on them); the fallback is rebuilt without re-running its fit.
+    ///
+    /// [`build_naive`]: ResilientManager::build_naive
+    pub fn restore_state(&mut self, snap: &ResilientSnapshot, theta: f64, min_nodes: u32) {
+        self.tier = snap.tier;
+        self.last_target = snap.last_target;
+        self.probation = snap.probation;
+        self.retry = snap.retry.map(|(want, left, wait)| Retry { want, left, wait });
+        self.naive = snap.naive.as_ref().map(|n| {
+            let sn = SeasonalNaive::new(self.cfg.naive_period).with_obs(self.obs.clone());
+            let mut gated = ForecastHealthGate::new(sn);
+            gated.inner_mut().restore_sigma(n.sigma);
+            let manager = RobustAutoScalingManager::new(
+                theta,
+                min_nodes,
+                ScalingStrategy::Fixed { tau: 0.9 },
+            );
+            let mut fallback = QuantilePredictivePolicy::new(
+                "resilient-naive",
+                gated,
+                manager,
+                ReplanSchedule {
+                    context: self.cfg.naive_period,
+                    horizon: self.cfg.naive_horizon,
+                },
+            );
+            fallback.restore_plan_state(n.plan.clone(), n.plan_start, n.degraded);
+            fallback
+        });
     }
 
     /// Account for the outcome of the previous step's scale request,
@@ -823,6 +934,44 @@ mod tests {
         // A sane forecast passes.
         let gate = ForecastHealthGate::new(Wild(110.0));
         assert!(gate.forecast_quantiles(&ctx, 2, &[0.5]).is_ok());
+    }
+
+    #[test]
+    fn snapshot_restore_reproduces_decisions_mid_degradation() {
+        // Drive a manager into the seasonal-naive tier (with an active
+        // retry ladder), snapshot it, rebuild a fresh manager from spec,
+        // restore, and check both make identical decisions from there on.
+        let h: Vec<f64> = (0..32).map(|t| 60.0 + 30.0 * ((t % 4) as f64)).collect();
+        let run = |m: &mut ResilientManager<FailsAfter>, steps: std::ops::Range<usize>| {
+            steps
+                .map(|step| {
+                    let mut obs = Observation::new(step, &h, 2, 60.0, 1);
+                    if step == 5 {
+                        obs.last_scale = ScaleOutcome::Rejected;
+                    }
+                    m.decide(&obs)
+                })
+                .collect::<Vec<u32>>()
+        };
+        let mut original =
+            ResilientManager::with_config(FailsAfter { from: 2, seen: 0 }, cfg_small());
+        let _ = run(&mut original, 0..8);
+        assert_ne!(original.tier(), Tier::Primary, "scenario must demote");
+
+        let snap = original.snapshot_state();
+        let mut restored =
+            ResilientManager::with_config(FailsAfter { from: 2, seen: 8 }, cfg_small());
+        restored.restore_state(&snap, 60.0, 1);
+        assert_eq!(restored.snapshot_state(), snap, "roundtrip must be lossless");
+        assert_eq!(run(&mut original, 8..24), run(&mut restored, 8..24));
+    }
+
+    #[test]
+    fn tier_labels_roundtrip_through_parse() {
+        for tier in [Tier::Primary, Tier::SeasonalNaive, Tier::ReactiveMax] {
+            assert_eq!(Tier::parse(tier.label()), Some(tier));
+        }
+        assert_eq!(Tier::parse("bogus"), None);
     }
 
     #[test]

@@ -1,0 +1,632 @@
+//! The fleet supervisor: panic isolation and tenant quarantine.
+//!
+//! [`crate::fleet::FleetEngine`] assumes every tenant policy is
+//! well-behaved; one panicking `decide` would unwind through the worker
+//! pool and take the whole control plane down. [`FleetSupervisor`] wraps
+//! the engine in a supervision tree: every tenant tick runs inside
+//! `catch_unwind` (via `rpas-par`'s `par_for_each_mut_isolated`), a
+//! panic is converted into a `supervisor/panic` obs event plus a
+//! `supervisor.panics` counter, and a per-tenant circuit breaker
+//! quarantines tenants that keep failing.
+//!
+//! Quarantine state machine (per tenant):
+//!
+//! ```text
+//!            N panics in window W          backoff expires
+//!  Healthy ───────────────────────▶ Quarantined ─────────▶ Probation
+//!     ▲                                  ▲                     │
+//!     │   probation_ticks clean ticks    │   any panic         │
+//!     └──────────────────────────────────┴─────────────────────┘
+//! ```
+//!
+//! Each re-quarantine doubles the backoff (capped), so a tenant that
+//! panics on every tick converges to long quarantine stretches and stops
+//! wasting pool slots, while a tenant with a transient fault re-admits
+//! quickly. Siblings never notice either way: the supervised fleet's
+//! outputs for healthy tenants are byte-identical to a run where the
+//! poisoned tenant never panicked at all (panics are caught *inside* the
+//! worker closure, so pool locks are never poisoned and tenant order is
+//! preserved).
+//!
+//! A supervised run is bounded: it lasts exactly as many ticks as the
+//! longest tenant trace, so an always-failing tenant ends scored on its
+//! executed prefix instead of livelocking the fleet.
+
+use crate::fleet::{FleetEngine, FleetReport, QuarantineRecord, TenantRun};
+use rpas_obs::{Event, Level, Sink};
+use rpas_par::par_for_each_mut_isolated;
+use rpas_telemetry::{Counter, RatioSeries, SloReport, SloSpec, Telemetry};
+
+/// Circuit-breaker tuning for [`FleetSupervisor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Panics within [`SupervisorConfig::failure_window`] that open the
+    /// breaker.
+    pub failure_threshold: usize,
+    /// Sliding window (ticks) over which failures are counted.
+    pub failure_window: u64,
+    /// Quarantine length (ticks) for the first offence.
+    pub base_backoff_ticks: u64,
+    /// Backoff doubles per re-quarantine up to this cap.
+    pub max_backoff_ticks: u64,
+    /// Clean ticks on probation before a tenant is healthy again.
+    pub probation_ticks: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 3,
+            failure_window: 8,
+            base_backoff_ticks: 8,
+            max_backoff_ticks: 256,
+            probation_ticks: 4,
+        }
+    }
+}
+
+impl SupervisorConfig {
+    fn validate(&self) {
+        assert!(self.failure_threshold > 0, "failure_threshold must be positive");
+        assert!(self.failure_window > 0, "failure_window must be positive");
+        assert!(self.base_backoff_ticks > 0, "base_backoff_ticks must be positive");
+        assert!(
+            self.max_backoff_ticks >= self.base_backoff_ticks,
+            "max_backoff_ticks must be at least base_backoff_ticks"
+        );
+        assert!(self.probation_ticks > 0, "probation_ticks must be positive");
+    }
+}
+
+/// Supervision state of one tenant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TenantHealth {
+    /// Ticking normally.
+    Healthy,
+    /// Circuit breaker open: the tenant is skipped until `until_tick`.
+    Quarantined {
+        /// First tick at which the tenant is re-admitted (on probation).
+        until_tick: u64,
+        /// Why the breaker opened.
+        reason: String,
+    },
+    /// Re-admitted after quarantine; one panic re-opens the breaker
+    /// immediately, `probation_ticks` clean ticks restore full health.
+    Probation {
+        /// Clean ticks accumulated so far.
+        clean_ticks: u64,
+    },
+}
+
+/// Per-tenant circuit-breaker bookkeeping.
+pub(crate) struct TenantGuard {
+    pub(crate) health: TenantHealth,
+    /// Ticks of recent panics, pruned to the sliding window.
+    pub(crate) failures: Vec<u64>,
+    /// Quarantines so far (drives the exponential backoff).
+    pub(crate) strikes: u32,
+    /// Most recent panic message.
+    pub(crate) last_error: Option<String>,
+    /// One flag per supervised tick while the tenant was unfinished:
+    /// `true` when the tick was lost (skipped in quarantine, or panicked).
+    /// Feeds the fleet-availability SLO.
+    pub(crate) outage: Vec<bool>,
+}
+
+impl TenantGuard {
+    fn new() -> Self {
+        Self {
+            health: TenantHealth::Healthy,
+            failures: Vec::new(),
+            strikes: 0,
+            last_error: None,
+            outage: Vec::new(),
+        }
+    }
+}
+
+/// Per-tenant supervisor counters (dark when the fleet runs without a
+/// live [`Telemetry`] registry).
+#[derive(Default, Clone)]
+struct GuardMetrics {
+    panics: Counter,
+    quarantines: Counter,
+    restores: Counter,
+}
+
+/// Panic isolation + tenant quarantine around a [`FleetEngine`]. Build
+/// the engine first (its construction is panic-free by contract), then
+/// wrap it; drive with [`FleetSupervisor::tick`] or
+/// [`FleetSupervisor::run_to_completion`] and collect the report with
+/// [`FleetSupervisor::finish`].
+pub struct FleetSupervisor {
+    pub(crate) engine: FleetEngine,
+    pub(crate) cfg: SupervisorConfig,
+    pub(crate) guards: Vec<TenantGuard>,
+    metrics: Vec<GuardMetrics>,
+    /// Next supervised tick (0-based; also the count of ticks executed).
+    pub(crate) tick: u64,
+    /// Total supervised ticks: the longest tenant trace length.
+    pub(crate) total_ticks: u64,
+}
+
+/// Append a `supervisor/*` event to a tenant's capture buffer, so the
+/// supervision history is part of the deterministic tenant-scoped trace.
+/// Timing fields are irrelevant: the fleet's trace serialization strips
+/// them and renumbers `seq`.
+fn capture_event(
+    run: &TenantRun,
+    level: Level,
+    name: &str,
+    build: impl FnOnce(&mut Event),
+) {
+    if let Some(mem) = &run.capture {
+        let mut ev = Event::new(level, "supervisor", name);
+        build(&mut ev);
+        mem.emit(&ev);
+    }
+}
+
+impl FleetSupervisor {
+    /// Wrap an engine with the default [`SupervisorConfig`].
+    pub fn wrap(engine: FleetEngine) -> Self {
+        Self::wrap_with(engine, SupervisorConfig::default(), &Telemetry::noop())
+    }
+
+    /// Wrap an engine with explicit tuning; supervisor counters
+    /// (`supervisor.panics`, `.quarantines`, `.restores`) record into
+    /// `tel` under a `tenant="tNNNN"` label.
+    ///
+    /// # Panics
+    /// Panics on a degenerate config.
+    pub fn wrap_with(engine: FleetEngine, cfg: SupervisorConfig, tel: &Telemetry) -> Self {
+        cfg.validate();
+        let guards = engine.runs.iter().map(|_| TenantGuard::new()).collect();
+        let metrics = engine
+            .runs
+            .iter()
+            .map(|run| {
+                let tenant = run.spec.id.to_string();
+                let labels: [(&str, &str); 1] = [("tenant", tenant.as_str())];
+                GuardMetrics {
+                    panics: tel.counter("supervisor.panics", &labels),
+                    quarantines: tel.counter("supervisor.quarantines", &labels),
+                    restores: tel.counter("supervisor.restores", &labels),
+                }
+            })
+            .collect();
+        let total_ticks =
+            engine.runs.iter().map(|run| run.session.len() as u64).max().unwrap_or(0);
+        Self { engine, cfg, guards, metrics, tick: 0, total_ticks }
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &FleetEngine {
+        &self.engine
+    }
+
+    /// Supervised ticks executed so far.
+    pub fn ticks_done(&self) -> u64 {
+        self.tick
+    }
+
+    /// Total ticks a full supervised run executes (the longest tenant
+    /// trace; the bound that keeps an always-failing tenant from
+    /// livelocking the fleet).
+    pub fn total_ticks(&self) -> u64 {
+        self.total_ticks
+    }
+
+    /// A tenant's current supervision state.
+    pub fn health(&self, tenant: usize) -> &TenantHealth {
+        &self.guards[tenant].health
+    }
+
+    /// Whether the supervised run has executed every tick.
+    pub fn is_done(&self) -> bool {
+        self.tick >= self.total_ticks
+    }
+
+    /// Advance the fleet by one supervised tick: re-admit tenants whose
+    /// quarantine expired, step every eligible tenant with panic
+    /// isolation, then feed the circuit breakers in tenant order.
+    /// Returns the number of tenants that completed a clean step
+    /// (0 does *not* mean the run is over — a tick can be all-quarantine;
+    /// check [`FleetSupervisor::is_done`]).
+    pub fn tick(&mut self) -> usize {
+        if self.is_done() {
+            return 0;
+        }
+        let tick = self.tick;
+        self.admit_expired(tick);
+
+        let unfinished: Vec<bool> =
+            self.engine.runs.iter().map(|run| !run.is_done()).collect();
+        let eligible: Vec<bool> = self
+            .engine
+            .runs
+            .iter()
+            .zip(&self.guards)
+            .map(|(run, guard)| {
+                !run.is_done() && !matches!(guard.health, TenantHealth::Quarantined { .. })
+            })
+            .collect();
+
+        let stepped = std::sync::atomic::AtomicUsize::new(0);
+        let outcomes = par_for_each_mut_isolated(&mut self.engine.runs, |i, run| {
+            if eligible[i] && run.session.step(run.policy.as_dyn_mut()) {
+                stepped.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        });
+
+        let mut panicked = vec![false; self.guards.len()];
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Some(message) => {
+                    panicked[i] = true;
+                    self.on_panic(i, tick, message);
+                }
+                None if eligible[i] => self.on_clean_tick(i, tick),
+                None => {}
+            }
+        }
+        for i in 0..self.guards.len() {
+            if unfinished[i] {
+                self.guards[i].outage.push(!eligible[i] || panicked[i]);
+            }
+        }
+        self.tick += 1;
+        stepped.into_inner()
+    }
+
+    /// Drive the supervised run to its bound (the longest tenant trace).
+    pub fn run_to_completion(&mut self) {
+        while !self.is_done() {
+            self.tick();
+        }
+    }
+
+    /// Quarantine expiry: re-admit on probation.
+    fn admit_expired(&mut self, tick: u64) {
+        for (i, guard) in self.guards.iter_mut().enumerate() {
+            if let TenantHealth::Quarantined { until_tick, .. } = &guard.health {
+                if tick >= *until_tick {
+                    guard.health = TenantHealth::Probation { clean_ticks: 0 };
+                    guard.failures.clear();
+                    self.metrics[i].restores.inc(1);
+                    let run = &self.engine.runs[i];
+                    let tenant = run.spec.id.to_string();
+                    self.engine.obs.info("supervisor", "restore", |e| {
+                        e.field("tenant", tenant.as_str()).field("tick", tick);
+                    });
+                    capture_event(run, Level::Info, "restore", |e| {
+                        e.field("tick", tick);
+                    });
+                }
+            }
+        }
+    }
+
+    fn on_panic(&mut self, i: usize, tick: u64, message: String) {
+        self.metrics[i].panics.inc(1);
+        let run = &self.engine.runs[i];
+        let tenant = run.spec.id.to_string();
+        self.engine.obs.warn("supervisor", "panic", |e| {
+            e.field("tenant", tenant.as_str())
+                .field("tick", tick)
+                .field("error", message.as_str());
+        });
+        capture_event(run, Level::Warn, "panic", |e| {
+            e.field("tick", tick).field("error", message.as_str());
+        });
+
+        let guard = &mut self.guards[i];
+        guard.failures.retain(|&t| tick - t < self.cfg.failure_window);
+        guard.failures.push(tick);
+        guard.last_error = Some(message);
+
+        let (open, reason) = match guard.health {
+            // One panic on probation re-opens the breaker immediately.
+            TenantHealth::Probation { .. } => (true, "panic on probation".to_string()),
+            TenantHealth::Healthy => (
+                guard.failures.len() >= self.cfg.failure_threshold,
+                format!(
+                    "{} panics in {} ticks",
+                    guard.failures.len(),
+                    self.cfg.failure_window
+                ),
+            ),
+            TenantHealth::Quarantined { .. } => (false, String::new()),
+        };
+        if open {
+            self.quarantine(i, tick, reason);
+        }
+    }
+
+    fn quarantine(&mut self, i: usize, tick: u64, reason: String) {
+        let guard = &mut self.guards[i];
+        guard.strikes += 1;
+        let exponent = u32::min(guard.strikes - 1, 32);
+        let backoff = self
+            .cfg
+            .base_backoff_ticks
+            .saturating_mul(1u64 << exponent.min(62))
+            .min(self.cfg.max_backoff_ticks);
+        let until_tick = tick + 1 + backoff;
+        guard.health = TenantHealth::Quarantined { until_tick, reason: reason.clone() };
+        guard.failures.clear();
+        self.metrics[i].quarantines.inc(1);
+        let strikes = guard.strikes;
+        let run = &self.engine.runs[i];
+        let tenant = run.spec.id.to_string();
+        self.engine.obs.warn("supervisor", "quarantine", |e| {
+            e.field("tenant", tenant.as_str())
+                .field("tick", tick)
+                .field("until_tick", until_tick)
+                .field("strikes", u64::from(strikes))
+                .field("reason", reason.as_str());
+        });
+        capture_event(run, Level::Warn, "quarantine", |e| {
+            e.field("tick", tick)
+                .field("until_tick", until_tick)
+                .field("strikes", u64::from(strikes))
+                .field("reason", reason.as_str());
+        });
+    }
+
+    fn on_clean_tick(&mut self, i: usize, tick: u64) {
+        if let TenantHealth::Probation { clean_ticks } = &mut self.guards[i].health {
+            *clean_ticks += 1;
+            if *clean_ticks >= self.cfg.probation_ticks {
+                self.guards[i].health = TenantHealth::Healthy;
+                let run = &self.engine.runs[i];
+                let tenant = run.spec.id.to_string();
+                self.engine.obs.info("supervisor", "healthy", |e| {
+                    e.field("tenant", tenant.as_str()).field("tick", tick);
+                });
+                capture_event(run, Level::Info, "healthy", |e| {
+                    e.field("tick", tick);
+                });
+            }
+        }
+    }
+
+    /// Finish the supervised run: evaluate the fleet-availability SLO
+    /// over the per-tenant outage series, collect the still-quarantined
+    /// tenants, and aggregate the fleet report (draining every capture
+    /// buffer, quarantined tenants included).
+    pub fn finish(self) -> FleetReport {
+        let subjects: Vec<(String, RatioSeries)> = self
+            .engine
+            .runs
+            .iter()
+            .zip(&self.guards)
+            .map(|(run, guard)| {
+                (run.spec.id.to_string(), RatioSeries::from_bools(&guard.outage))
+            })
+            .collect();
+        let availability = SloReport::evaluate(
+            &SloSpec::fleet_availability_default(),
+            &subjects,
+            &self.engine.obs,
+        );
+        let quarantined: Vec<QuarantineRecord> = self
+            .engine
+            .runs
+            .iter()
+            .zip(&self.guards)
+            .filter_map(|(run, guard)| match &guard.health {
+                TenantHealth::Quarantined { until_tick, reason } => Some(QuarantineRecord {
+                    id: run.spec.id,
+                    reason: reason.clone(),
+                    last_error: guard.last_error.clone(),
+                    strikes: guard.strikes,
+                    until_tick: *until_tick,
+                }),
+                _ => None,
+            })
+            .collect();
+        self.engine.finish_supervised(quarantined, Some(availability))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::FleetConfig;
+    use rpas_simdb::{Observation, ScalingPolicy};
+
+    /// Policy that panics on its first `remaining` invocations, then
+    /// behaves. (A panicked step never advances the session cursor, so a
+    /// transient fault must be keyed on invocations, not steps.)
+    struct PanicsFirst {
+        remaining: usize,
+    }
+
+    impl ScalingPolicy for PanicsFirst {
+        fn name(&self) -> &'static str {
+            "panics-first"
+        }
+        fn decide(&mut self, obs: &Observation<'_>) -> u32 {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                panic!("injected panic at step {}", obs.step);
+            }
+            2
+        }
+    }
+
+    /// Policy that panics on every invocation.
+    struct AlwaysPanics;
+
+    impl ScalingPolicy for AlwaysPanics {
+        fn name(&self) -> &'static str {
+            "always-panics"
+        }
+        fn decide(&mut self, obs: &Observation<'_>) -> u32 {
+            panic!("injected panic at step {}", obs.step);
+        }
+    }
+
+    fn small_cfg() -> FleetConfig {
+        let mut cfg = FleetConfig::new(4, 7);
+        cfg.days = 2;
+        cfg.schedule = crate::autoscaler::ReplanSchedule { context: 48, horizon: 24 };
+        cfg
+    }
+
+    /// Run the intentionally-panicking closure with the default panic
+    /// hook silenced, so test output stays clean.
+    fn quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(hook);
+        out
+    }
+
+    #[test]
+    fn healthy_fleet_matches_unsupervised_run() {
+        let mut cfg = small_cfg();
+        cfg.capture_events = true;
+        let mut plain = FleetEngine::new(&cfg);
+        plain.run_to_completion();
+        let expected = plain.finish();
+
+        let mut sup = FleetSupervisor::wrap(FleetEngine::new(&cfg));
+        assert_eq!(sup.total_ticks(), 2 * 144);
+        sup.run_to_completion();
+        let report = sup.finish();
+
+        assert_eq!(report.tenants, expected.tenants);
+        assert_eq!(report.qos, expected.qos);
+        assert_eq!(report.trace_lines, expected.trace_lines);
+        assert!(report.quarantined.is_empty());
+        let avail = report.availability.expect("supervised runs evaluate availability");
+        assert!(avail.fleet.met);
+        assert_eq!(avail.fleet.bad, 0);
+        assert_eq!(avail.fleet.total, 4 * 2 * 144);
+    }
+
+    #[test]
+    fn poisoned_tenant_is_quarantined_with_exponential_backoff() {
+        let cfg = small_cfg();
+        let mut engine = FleetEngine::new(&cfg);
+        // Tenant 1 panics on every decision step.
+        engine.set_policy(1, Box::new(AlwaysPanics));
+        let tel = Telemetry::live();
+        let sup_cfg = SupervisorConfig::default();
+        let mut sup = FleetSupervisor::wrap_with(engine, sup_cfg, &tel);
+        quiet_panics(|| sup.run_to_completion());
+
+        assert!(matches!(sup.health(1), TenantHealth::Quarantined { .. }));
+        let report = sup.finish();
+        assert_eq!(report.quarantined.len(), 1);
+        let q = &report.quarantined[0];
+        assert_eq!(q.id.0, 1);
+        assert!(q.strikes > 1, "re-quarantined after every probation ({} strikes)", q.strikes);
+        assert!(q.last_error.as_deref().unwrap().contains("injected panic"));
+
+        // Exponential backoff: strikes stay far below what a fixed
+        // backoff would produce over the run.
+        let ticks = sup_cfg.base_backoff_ticks as f64;
+        assert!(
+            f64::from(q.strikes) < (2.0 * 144.0) / ticks,
+            "backoff must grow: {} strikes",
+            q.strikes
+        );
+
+        // Counters add up: every quarantine was preceded by panics, and
+        // every restore re-admitted a quarantined tenant.
+        let snap = tel.snapshot();
+        let val = |m: &str| {
+            snap.counter_value(&format!("{m}{{tenant=\"t0001\"}}")).unwrap_or(0)
+        };
+        assert!(val("supervisor.panics") >= 3);
+        assert_eq!(val("supervisor.quarantines"), u64::from(q.strikes));
+        assert_eq!(val("supervisor.restores"), u64::from(q.strikes) - 1);
+
+        // The poisoned tenant burned its availability budget; siblings
+        // did not.
+        let avail = report.availability.expect("availability evaluated");
+        assert!(!avail.tenants[1].met);
+        assert!(avail.tenants[0].met && avail.tenants[2].met && avail.tenants[3].met);
+    }
+
+    #[test]
+    fn transient_panic_recovers_through_probation() {
+        let cfg = small_cfg();
+        let mut engine = FleetEngine::new(&cfg);
+        // Three panics in a row opens the breaker once; afterwards clean.
+        engine.set_policy(2, Box::new(PanicsFirst { remaining: 3 }));
+        let mut sup = FleetSupervisor::wrap(engine);
+        quiet_panics(|| sup.run_to_completion());
+        assert_eq!(*sup.health(2), TenantHealth::Healthy);
+        let report = sup.finish();
+        assert!(report.quarantined.is_empty());
+        // The tenant lost its quarantine window but still executed the
+        // rest of its trace.
+        let lost = 3 + SupervisorConfig::default().base_backoff_ticks as usize;
+        assert_eq!(report.qos.total_steps, 4 * 2 * 144 - lost as u64);
+    }
+
+    #[test]
+    fn sibling_outputs_are_unperturbed_by_a_poisoned_tenant() {
+        let mut cfg = small_cfg();
+        cfg.capture_events = true;
+
+        // Reference: supervised run where nobody panics.
+        let mut clean = FleetSupervisor::wrap(FleetEngine::new(&cfg));
+        clean.run_to_completion();
+        let clean_report = clean.finish();
+
+        // Poisoned: tenant 0 panics every tick.
+        let mut engine = FleetEngine::new(&cfg);
+        engine.set_policy(0, Box::new(AlwaysPanics));
+        let mut sup = FleetSupervisor::wrap(engine);
+        quiet_panics(|| sup.run_to_completion());
+        let poisoned_report = sup.finish();
+
+        // Siblings' summaries are identical.
+        assert_eq!(clean_report.tenants[1..], poisoned_report.tenants[1..]);
+        // Siblings' trace events are identical once the global seq
+        // renumbering (shifted by tenant 0's extra supervisor events) is
+        // factored out.
+        let sibling_lines = |report: &FleetReport| -> Vec<String> {
+            report
+                .trace_lines
+                .iter()
+                .filter(|l| !l.contains("\"tenant\":\"t0000\""))
+                .map(|l| {
+                    let cut = l.find("\"level\"").expect("schema-v1 line");
+                    l[cut..].to_string()
+                })
+                .collect()
+        };
+        assert_eq!(sibling_lines(&clean_report), sibling_lines(&poisoned_report));
+    }
+
+    #[test]
+    fn supervised_run_is_thread_invariant() {
+        let mut cfg = small_cfg();
+        cfg.capture_events = true;
+        let run = |threads: &str| {
+            std::env::set_var("RPAS_THREADS", threads);
+            let mut engine = FleetEngine::new(&cfg);
+            engine.set_policy(3, Box::new(PanicsFirst { remaining: 50 }));
+            let mut sup = FleetSupervisor::wrap(engine);
+            quiet_panics(|| sup.run_to_completion());
+            let report = sup.finish();
+            std::env::remove_var("RPAS_THREADS");
+            report
+        };
+        assert_eq!(run("1"), run("4"));
+    }
+
+    #[test]
+    #[should_panic(expected = "failure_threshold")]
+    fn degenerate_config_is_rejected() {
+        let cfg = SupervisorConfig { failure_threshold: 0, ..SupervisorConfig::default() };
+        let _ = FleetSupervisor::wrap_with(FleetEngine::new(&small_cfg()), cfg, &Telemetry::noop());
+    }
+}

@@ -75,6 +75,39 @@ impl Histogram {
         &self.bounds
     }
 
+    /// Per-bucket counts, one per bound plus the trailing `+inf` overflow
+    /// bucket (so `counts().len() == bounds().len() + 1`).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Running sum of the finite samples (exact, unlike what
+    /// [`Histogram::decode`] can recover from the flat-string encoding).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Reassemble a histogram from previously captured state — the exact
+    /// inverse of reading [`Histogram::bounds`]/[`Histogram::counts`]/
+    /// [`Histogram::sum`], for checkpoint restore paths that must be
+    /// lossless (the flat-string [`Histogram::decode`] drops the sum).
+    ///
+    /// # Panics
+    /// Panics on invalid bounds (see [`Histogram::new`]) or when `counts`
+    /// is not one longer than `bounds`.
+    pub fn from_parts(bounds: Vec<f64>, counts: Vec<u64>, sum: f64) -> Self {
+        let mut h = Histogram::new(bounds);
+        assert_eq!(
+            counts.len(),
+            h.bounds.len() + 1,
+            "histogram counts must cover every bound plus overflow"
+        );
+        h.count = counts.iter().sum();
+        h.counts = counts;
+        h.sum = sum;
+        h
+    }
+
     /// Mean of the finite samples (NaN when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -297,6 +330,18 @@ mod tests {
         }
         assert!(h.mean().is_nan());
         assert_eq!(h.encode(), "le=1:0;le=2:0;inf:0");
+    }
+
+    #[test]
+    fn from_parts_roundtrips_exactly_including_sum() {
+        let mut h = Histogram::new(vec![10.0, 100.0]);
+        for v in [5.0, 50.0, 500.0, 0.125] {
+            h.record(v);
+        }
+        let back = Histogram::from_parts(h.bounds().to_vec(), h.counts().to_vec(), h.sum());
+        assert_eq!(back, h, "from_parts is the exact inverse of the accessors");
+        assert_eq!(back.sum().to_bits(), h.sum().to_bits());
+        assert_eq!(back.mean().to_bits(), h.mean().to_bits());
     }
 
     #[test]

@@ -177,6 +177,78 @@ where
     });
 }
 
+/// Render a `catch_unwind` payload as a one-line message. Panic payloads
+/// are almost always `&str` (literal `panic!`) or `String` (formatted
+/// `panic!`); anything else is summarized rather than dropped so the
+/// supervisor can still attribute the failure.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// [`par_for_each_mut`] with per-item panic isolation: `f(i, &mut
+/// items[i])` runs under `catch_unwind`, and the returned vector holds
+/// `None` for items that completed and `Some(message)` for items whose
+/// closure panicked.
+///
+/// A panicking item never disturbs its siblings: the unwind is caught
+/// *inside* the worker loop, before any pool lock is released mid-update,
+/// so the remaining items still run and the pool's own mutexes are never
+/// poisoned. The caller decides what a captured panic means — the fleet
+/// supervisor converts them into quarantine decisions. An item that
+/// panicked may have been left in an arbitrary (but memory-safe) state;
+/// callers must treat it as suspect.
+///
+/// As with [`par_for_each_mut`], the result is identical at every thread
+/// count provided `f` depends only on the index and the item.
+pub fn par_for_each_mut_isolated<T, F>(items: &mut [T], f: F) -> Vec<Option<String>>
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let jobs = items.len();
+    if jobs == 0 {
+        return Vec::new();
+    }
+    let run_one = |i: usize, item: &mut T| -> Option<String> {
+        // AssertUnwindSafe: the item is handed back to the caller marked
+        // as panicked, never silently reused, so broken invariants inside
+        // it cannot leak into healthy state.
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, item)))
+            .err()
+            .map(panic_message)
+    };
+    let workers = worker_count(jobs);
+    if workers == 1 {
+        return items.iter_mut().enumerate().map(|(i, item)| run_one(i, item)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<(&mut T, Option<String>)>> =
+        items.iter_mut().map(|item| Mutex::new((item, None))).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let mut guard = slots[i].lock().expect("item slot poisoned");
+                let (item, result) = &mut *guard;
+                *result = run_one(i, item);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("item slot poisoned").1)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,6 +300,49 @@ mod tests {
         assert_eq!(items, (0..64).map(|i| 2 * i + 1000).collect::<Vec<_>>());
         let mut empty: Vec<usize> = Vec::new();
         par_for_each_mut(&mut empty, |_, _| unreachable!());
+    }
+
+    #[test]
+    fn isolated_captures_panics_and_finishes_siblings() {
+        // Silence the default panic hook for the intentional panics below;
+        // restore it afterwards so other tests keep their diagnostics.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut items: Vec<usize> = (0..16).collect();
+        let failures = par_for_each_mut_isolated(&mut items, |i, v| {
+            if i == 3 {
+                panic!("boom {i}");
+            }
+            if i == 9 {
+                // Non-literal payload exercises the String downcast.
+                std::panic::panic_any(format!("formatted {i}"));
+            }
+            *v += 100;
+        });
+        std::panic::set_hook(hook);
+        assert_eq!(failures.len(), 16);
+        assert_eq!(failures[3].as_deref(), Some("boom 3"));
+        assert_eq!(failures[9].as_deref(), Some("formatted 9"));
+        for (i, (item, fail)) in items.iter().zip(&failures).enumerate() {
+            if i == 3 || i == 9 {
+                assert_eq!(*item, i, "panicked item left as-is");
+            } else {
+                assert!(fail.is_none());
+                assert_eq!(*item, i + 100, "sibling item completed");
+            }
+        }
+        let mut empty: Vec<usize> = Vec::new();
+        assert!(par_for_each_mut_isolated(&mut empty, |_, _| unreachable!()).is_empty());
+    }
+
+    #[test]
+    fn isolated_matches_for_each_mut_when_nothing_panics() {
+        let mut a: Vec<usize> = (0..32).collect();
+        let mut b = a.clone();
+        par_for_each_mut(&mut a, |i, v| *v = v.wrapping_mul(31) ^ i);
+        let failures = par_for_each_mut_isolated(&mut b, |i, v| *v = v.wrapping_mul(31) ^ i);
+        assert_eq!(a, b);
+        assert!(failures.iter().all(Option::is_none));
     }
 
     #[test]

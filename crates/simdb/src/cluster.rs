@@ -1,9 +1,38 @@
 //! The compute-node pool: scale-out/scale-in mechanics over shared storage.
 
 use crate::node::{ComputeNode, NodeId, NodeState};
-use crate::storage::SharedStorage;
+use crate::storage::{SharedStorage, StorageStats};
 use crate::warmup::WarmupModel;
 use std::sync::Arc;
+
+/// One node's state inside a [`ClusterSnapshot`]: identifier, launch
+/// step, and remaining warm-up (`None` for an active node).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSnapshot {
+    /// The node's [`NodeId`] value.
+    pub id: u32,
+    /// Simulation step at which the node was launched.
+    pub launched_at_step: usize,
+    /// Seconds of warm-up remaining, or `None` when serving.
+    pub warming_remaining_secs: Option<f64>,
+}
+
+/// The cluster's full mutable state, as plain data — everything
+/// [`Cluster::restore`] needs to resume a pool mid-run (the warm-up model
+/// and storage handle are configuration, rebuilt from the spec).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSnapshot {
+    /// Node list in pool order.
+    pub nodes: Vec<NodeSnapshot>,
+    /// Next [`NodeId`] to assign.
+    pub next_id: u32,
+    /// Scale-out operations performed so far.
+    pub scale_out_events: usize,
+    /// Scale-in operations performed so far.
+    pub scale_in_events: usize,
+    /// Shared-storage checkpoint counters.
+    pub storage: StorageStats,
+}
 
 /// A pool of compute nodes attached to one shared storage.
 #[derive(Debug)]
@@ -143,6 +172,51 @@ impl Cluster {
         self.nodes.iter_mut().map(|n| n.tick(dt_secs)).sum()
     }
 
+    /// Capture the pool's full mutable state (see [`ClusterSnapshot`]).
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        ClusterSnapshot {
+            nodes: self
+                .nodes
+                .iter()
+                .map(|n| NodeSnapshot {
+                    id: n.id.0,
+                    launched_at_step: n.launched_at_step,
+                    warming_remaining_secs: match n.state {
+                        NodeState::WarmingUp { remaining_secs } => Some(remaining_secs),
+                        NodeState::Active => None,
+                    },
+                })
+                .collect(),
+            next_id: self.next_id,
+            scale_out_events: self.scale_out_events,
+            scale_in_events: self.scale_in_events,
+            storage: self.storage.stats(),
+        }
+    }
+
+    /// Overwrite the pool's mutable state with a previously captured
+    /// snapshot. The warm-up model and storage configuration stay as
+    /// built; storage *counters* are restored to absolute values so the
+    /// bootstrap reads of the rebuilt pool do not double-count.
+    pub fn restore(&mut self, snap: &ClusterSnapshot) {
+        self.nodes = snap
+            .nodes
+            .iter()
+            .map(|n| ComputeNode {
+                id: NodeId(n.id),
+                launched_at_step: n.launched_at_step,
+                state: match n.warming_remaining_secs {
+                    Some(remaining_secs) => NodeState::WarmingUp { remaining_secs },
+                    None => NodeState::Active,
+                },
+            })
+            .collect();
+        self.next_id = snap.next_id;
+        self.scale_out_events = snap.scale_out_events;
+        self.scale_in_events = snap.scale_in_events;
+        self.storage.restore_stats(snap.storage);
+    }
+
     /// Seconds of warm-up remaining across the pool (0 when all active).
     pub fn pending_warmup_secs(&self) -> f64 {
         self.nodes
@@ -232,6 +306,33 @@ mod tests {
         let mut zero = cluster(1);
         zero.scale_to_delayed(2, 0, 0.0);
         assert_eq!(zero.pending_warmup_secs(), fast.pending_warmup_secs());
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_mid_run_state() {
+        let mut c = cluster(2);
+        c.scale_to(5, 3); // 3 warming nodes, 3 checkpoint reads
+        c.tick(1.0); // shave warm-up, keep nodes warming
+        let snap = c.snapshot();
+        assert_eq!(snap.nodes.len(), 5);
+        assert_eq!(snap.storage.checkpoint_reads, 3);
+
+        // A freshly built cluster (whose bootstrap state differs) restores
+        // to exactly the captured pool, including storage counters.
+        let mut fresh = cluster(2);
+        fresh.restore(&snap);
+        assert_eq!(fresh.snapshot(), snap);
+        assert_eq!(fresh.size(), 5);
+        assert_eq!(fresh.active_count(), 2);
+        assert_eq!(fresh.storage().stats().checkpoint_reads, 3);
+        assert!((fresh.pending_warmup_secs() - c.pending_warmup_secs()).abs() < 1e-12);
+
+        // The restored pool evolves identically to the original.
+        let (a, b) = (c.tick(600.0), fresh.tick(600.0));
+        assert!((a - b).abs() < 1e-12);
+        c.scale_to(1, 4);
+        fresh.scale_to(1, 4);
+        assert_eq!(fresh.snapshot(), c.snapshot());
     }
 
     #[test]

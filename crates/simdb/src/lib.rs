@@ -31,7 +31,7 @@ pub mod simulator;
 pub mod storage;
 pub mod warmup;
 
-pub use cluster::Cluster;
+pub use cluster::{Cluster, ClusterSnapshot, NodeSnapshot};
 pub use faults::{recovery_stats, AnomalyKind, FaultConfig, FaultCounts, FaultPlan, RecoveryStats};
 pub use fleet::{fleet_qos, tenant_qos, FleetQos, TenantQos};
 pub use node::{ComputeNode, NodeId, NodeState};
@@ -40,6 +40,6 @@ pub use policy::{
 };
 pub use qos::{slo_report, LatencyModel, SloReport};
 pub use report::{SimulationReport, StepRecord};
-pub use simulator::{SimConfig, SimSession, Simulation};
-pub use storage::SharedStorage;
+pub use simulator::{SessionSnapshot, SimConfig, SimSession, Simulation};
+pub use storage::{SharedStorage, StorageStats};
 pub use warmup::WarmupModel;

@@ -31,6 +31,17 @@ impl ScaleOutcome {
             ScaleOutcome::Rejected => "rejected",
         }
     }
+
+    /// Inverse of [`ScaleOutcome::label`], for checkpoint restore.
+    pub fn parse(label: &str) -> Option<Self> {
+        match label {
+            "no_change" => Some(ScaleOutcome::NoChange),
+            "applied" => Some(ScaleOutcome::Applied),
+            "delayed" => Some(ScaleOutcome::Delayed),
+            "rejected" => Some(ScaleOutcome::Rejected),
+            _ => None,
+        }
+    }
 }
 
 /// Self-reported health of a policy's decision pipeline, polled by the

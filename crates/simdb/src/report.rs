@@ -25,7 +25,7 @@ pub struct StepRecord {
 }
 
 /// Full simulation result.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimulationReport {
     /// Policy display name.
     pub policy: String,

@@ -7,7 +7,7 @@
 //! time so a fleet engine can interleave many independent sessions (each
 //! tenant owns a `SimSession`; see `rpas_core::fleet`).
 
-use crate::cluster::Cluster;
+use crate::cluster::{Cluster, ClusterSnapshot};
 use crate::faults::{recovery_stats, FaultCounts, FaultPlan};
 use crate::policy::{Observation, ScaleOutcome, ScalingPolicy};
 use crate::report::{SimulationReport, StepRecord};
@@ -148,6 +148,27 @@ impl SessionMetrics {
     }
 }
 
+/// The full mutable state of a [`SimSession`], as plain data — the unit
+/// the fleet checkpoint format serializes per tenant. Together with the
+/// session's immutable spec (trace, [`SimConfig`], fault plan — all
+/// deterministic functions of seeds) this is sufficient to resume the
+/// run exactly where it stopped; see [`SimSession::restore`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSnapshot {
+    /// Next tick to execute.
+    pub t: usize,
+    /// Prefix of the workload the metric pipeline has delivered.
+    pub visible: usize,
+    /// Outcome of the previous interval's scale request.
+    pub last_scale: ScaleOutcome,
+    /// Faults applied so far.
+    pub counts: FaultCounts,
+    /// Step records produced so far (one per executed tick).
+    pub steps: Vec<StepRecord>,
+    /// The compute pool's state.
+    pub cluster: ClusterSnapshot,
+}
+
 /// The simulation loop as a resumable state machine: one [`SimSession`]
 /// is one policy driving one cluster over one realised workload series,
 /// advanced one decision tick at a time with [`SimSession::step`].
@@ -255,6 +276,42 @@ impl SimSession {
     /// Step records produced so far (one per executed tick).
     pub fn records(&self) -> &[StepRecord] {
         &self.steps
+    }
+
+    /// Capture the session's full mutable state (see [`SessionSnapshot`]).
+    /// Everything else — config, realised workload, fault plan, handles —
+    /// is rebuilt from the original spec on restore.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            t: self.t,
+            visible: self.visible,
+            last_scale: self.last_scale,
+            counts: self.counts,
+            steps: self.steps.clone(),
+            cluster: self.cluster.snapshot(),
+        }
+    }
+
+    /// Overwrite the session's mutable state with a previously captured
+    /// snapshot. Must be applied to a session built from the *same* spec
+    /// (same trace, config, and fault plan); continuing the restored
+    /// session then produces exactly the steps the original would have.
+    ///
+    /// # Panics
+    /// Panics when the snapshot's cursor lies beyond this session's trace.
+    pub fn restore(&mut self, snap: &SessionSnapshot) {
+        assert!(
+            snap.t <= self.w.len(),
+            "snapshot cursor {} beyond trace length {}",
+            snap.t,
+            self.w.len()
+        );
+        self.t = snap.t;
+        self.visible = snap.visible;
+        self.last_scale = snap.last_scale;
+        self.counts = snap.counts;
+        self.steps = snap.steps.clone();
+        self.cluster.restore(&snap.cluster);
     }
 
     /// Execute one decision tick: the policy observes realised history,
@@ -754,6 +811,71 @@ mod fault_tests {
         let tr = trace(vec![50.0; 10]);
         let plan = FaultPlan::build(FaultConfig::light(), 1, 5);
         let _ = Simulation::new(&tr, SimConfig::default()).with_faults(plan);
+    }
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    use super::*;
+    use crate::faults::{FaultConfig, FaultPlan};
+    use crate::policy::OraclePolicy;
+    use rpas_traces::google_like;
+
+    fn session(tr: &rpas_traces::Trace) -> SimSession {
+        let plan = FaultPlan::build(FaultConfig::heavy(), 5, tr.len());
+        SimSession::new(tr, SimConfig::default()).with_faults(plan)
+    }
+
+    #[test]
+    fn restore_at_any_tick_reproduces_the_uninterrupted_run() {
+        let tr = google_like(3, 1).cpu().clone();
+        // Uninterrupted reference run (oracle policy is stateless given
+        // the trace, so snapshot/restore needs no policy state here).
+        let mut full = session(&tr);
+        let mut p = OraclePolicy::new(tr.values.clone());
+        while full.step(&mut p) {}
+        let reference = full.finish("oracle");
+
+        for cut in [0usize, 1, 37, 143] {
+            let mut first = session(&tr);
+            let mut p1 = OraclePolicy::new(tr.values.clone());
+            for _ in 0..cut {
+                assert!(first.step(&mut p1));
+            }
+            let snap = first.snapshot();
+            assert_eq!(snap.t, cut);
+
+            let mut resumed = session(&tr);
+            resumed.restore(&snap);
+            let mut p2 = OraclePolicy::new(tr.values.clone());
+            while resumed.step(&mut p2) {}
+            let report = resumed.finish("oracle");
+            assert_eq!(report, reference, "resume at tick {cut} diverged");
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_restore() {
+        let tr = google_like(9, 1).cpu().clone();
+        let mut s = session(&tr);
+        let mut p = OraclePolicy::new(tr.values.clone());
+        for _ in 0..50 {
+            s.step(&mut p);
+        }
+        let snap = s.snapshot();
+        let mut fresh = session(&tr);
+        fresh.restore(&snap);
+        assert_eq!(fresh.snapshot(), snap);
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot cursor")]
+    fn cursor_beyond_trace_rejected() {
+        let tr = google_like(9, 1).cpu().clone();
+        let mut s = SimSession::new(&tr, SimConfig::default());
+        let mut snap = s.snapshot();
+        snap.t = tr.len() + 1;
+        s.restore(&snap);
     }
 }
 

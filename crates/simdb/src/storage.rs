@@ -51,6 +51,14 @@ impl SharedStorage {
     pub fn stats(&self) -> StorageStats {
         *self.stats.lock().expect("storage stats mutex poisoned")
     }
+
+    /// Overwrite the counters with previously captured [`StorageStats`] —
+    /// the checkpoint-restore hook (a rebuilt cluster re-reads checkpoints
+    /// during its bootstrap, so restore must set absolute values rather
+    /// than add).
+    pub fn restore_stats(&self, stats: StorageStats) {
+        *self.stats.lock().expect("storage stats mutex poisoned") = stats;
+    }
 }
 
 #[cfg(test)]

@@ -33,8 +33,8 @@ pub mod window;
 pub use diff::{diff_traces, Divergence, TraceDiff};
 pub use query::{run_query, Aggregate, GroupBy, QueryFilter, QueryResult};
 pub use registry::{
-    Counter, Gauge, HistogramHandle, MetricRegistry, Snapshot, SnapshotEntry, SnapshotValue,
-    Telemetry,
+    CellDump, CellValue, Counter, Gauge, HistogramHandle, MetricRegistry, Snapshot, SnapshotEntry,
+    SnapshotValue, Telemetry,
 };
 pub use slo::{BurnAlert, BurnRule, RatioSeries, SloReport, SloSpec, SloStatus};
 pub use window::{TickSeries, WindowSpec, WindowStat};

@@ -249,6 +249,80 @@ impl MetricRegistry {
         }
     }
 
+    /// Structured dump of every registered cell — unlike [`Snapshot`],
+    /// which renders keys to display strings, this keeps `(name, labels)`
+    /// identity and exact values (histogram sums included), so a
+    /// checkpoint can [`MetricRegistry::restore`] the registry
+    /// losslessly. Entries come back in canonical sorted key order.
+    pub fn dump(&self) -> Vec<CellDump> {
+        let mut merged: BTreeMap<Key, CellValue> = BTreeMap::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("registry shard poisoned");
+            for (key, cell) in shard.iter() {
+                let value = match cell {
+                    Cell::Counter(c) => CellValue::Counter(c.load(Ordering::Relaxed)),
+                    Cell::Gauge(g) => CellValue::GaugeBits(g.load(Ordering::Relaxed)),
+                    Cell::Hist(h) => {
+                        let h = h.lock().expect("histogram mutex poisoned");
+                        CellValue::Hist {
+                            bounds: h.bounds().to_vec(),
+                            counts: h.counts().to_vec(),
+                            sum: h.sum(),
+                        }
+                    }
+                };
+                merged.insert(key.clone(), value);
+            }
+        }
+        merged
+            .into_iter()
+            .map(|(key, value)| CellDump { name: key.name, labels: key.labels, value })
+            .collect()
+    }
+
+    /// Re-create every dumped cell with its exact captured value,
+    /// overwriting (not adding to) any existing cell of the same key —
+    /// restore is absolute, so it can be applied on top of a freshly
+    /// rebuilt registry whose wiring already registered the cells at
+    /// zero.
+    ///
+    /// # Panics
+    /// Panics if a dumped key is already registered as a different kind
+    /// (same contract as the handle constructors).
+    pub fn restore(&self, cells: &[CellDump]) {
+        for dump in cells {
+            let labels: Vec<(&str, &str)> =
+                dump.labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+            match &dump.value {
+                CellValue::Counter(v) => {
+                    let key = Key::new(&dump.name, &labels);
+                    match self.cell(key, || Cell::Counter(Arc::new(AtomicU64::new(0)))) {
+                        Cell::Counter(c) => c.store(*v, Ordering::Relaxed),
+                        other => {
+                            panic!("metric {:?} already registered as {}", dump.name, other.kind())
+                        }
+                    }
+                }
+                CellValue::GaugeBits(bits) => {
+                    let key = Key::new(&dump.name, &labels);
+                    let make = || Cell::Gauge(Arc::new(AtomicU64::new(f64::NAN.to_bits())));
+                    match self.cell(key, make) {
+                        Cell::Gauge(g) => g.store(*bits, Ordering::Relaxed),
+                        other => {
+                            panic!("metric {:?} already registered as {}", dump.name, other.kind())
+                        }
+                    }
+                }
+                CellValue::Hist { bounds, counts, sum } => {
+                    let handle = self.histogram(&dump.name, &labels, bounds);
+                    let restored = Histogram::from_parts(bounds.clone(), counts.clone(), *sum);
+                    let cell = handle.0.expect("live registry hands out attached handles");
+                    *cell.lock().expect("histogram mutex poisoned") = restored;
+                }
+            }
+        }
+    }
+
     /// Point-in-time snapshot of every registered metric, in one
     /// canonical sorted order (shard layout is invisible).
     pub fn snapshot(&self) -> Snapshot {
@@ -275,6 +349,39 @@ impl MetricRegistry {
                 .collect(),
         }
     }
+}
+
+/// Exact value of one dumped cell (see [`MetricRegistry::dump`]).
+/// Gauges carry raw `f64` bits so an unset gauge's NaN round-trips
+/// bit-identically; histograms carry bounds, per-bucket counts, and the
+/// exact running sum (the display encoding drops the sum).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellValue {
+    /// Monotonic count.
+    Counter(u64),
+    /// Last-written reading as `f64::to_bits`.
+    GaugeBits(u64),
+    /// Full histogram state.
+    Hist {
+        /// Inclusive upper bounds (the histogram's schema).
+        bounds: Vec<f64>,
+        /// Per-bucket counts, one per bound plus overflow.
+        counts: Vec<u64>,
+        /// Exact running sum of finite samples.
+        sum: f64,
+    },
+}
+
+/// One cell of a [`MetricRegistry::dump`]: structured identity plus
+/// exact value, sufficient to [`MetricRegistry::restore`] the cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellDump {
+    /// Metric name.
+    pub name: String,
+    /// Sorted, deduplicated labels.
+    pub labels: Vec<(String, String)>,
+    /// The exact captured value.
+    pub value: CellValue,
 }
 
 /// Snapshotted value of one metric.
@@ -451,6 +558,23 @@ impl Telemetry {
             None => Snapshot::default(),
         }
     }
+
+    /// Structured dump for checkpointing (empty when dark); see
+    /// [`MetricRegistry::dump`].
+    pub fn dump(&self) -> Vec<CellDump> {
+        match &self.inner {
+            Some(r) => r.dump(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Restore dumped cells to their exact captured values (no-op when
+    /// dark); see [`MetricRegistry::restore`].
+    pub fn restore(&self, cells: &[CellDump]) {
+        if let Some(r) = &self.inner {
+            r.restore(cells);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -537,6 +661,46 @@ mod tests {
             }
         });
         assert_eq!(c.get(), 4000);
+    }
+
+    #[test]
+    fn dump_restore_roundtrips_every_cell_kind_exactly() {
+        let tel = Telemetry::live();
+        tel.counter("sup.panics", &[("tenant", "t0003")]).inc(4);
+        tel.gauge("util", &[]).set(0.75);
+        let _never_set = tel.gauge("idle", &[]); // stays NaN
+        let h = tel.histogram("lat", &[("tenant", "t0003")], &[1.0, 10.0]);
+        h.record(0.5);
+        h.record(5.25);
+        h.record(100.0);
+
+        let dump = tel.dump();
+        assert_eq!(dump.len(), 4);
+
+        // Restore onto a fresh registry whose wiring pre-registered some
+        // of the cells at zero (the checkpoint-restore situation).
+        let fresh = Telemetry::live();
+        fresh.counter("sup.panics", &[("tenant", "t0003")]).inc(0);
+        let _ = fresh.histogram("lat", &[("tenant", "t0003")], &[1.0, 10.0]);
+        fresh.restore(&dump);
+        assert_eq!(fresh.snapshot().exposition(), tel.snapshot().exposition());
+        assert_eq!(fresh.dump(), dump, "dump∘restore is the identity");
+
+        // Counters keep counting after a restore (absolute, not additive).
+        fresh.counter("sup.panics", &[("tenant", "t0003")]).inc(1);
+        assert_eq!(
+            fresh.snapshot().counter_value("sup.panics{tenant=\"t0003\"}"),
+            Some(5)
+        );
+        // Restoring again overwrites rather than accumulates.
+        fresh.restore(&dump);
+        assert_eq!(fresh.dump(), dump);
+
+        // Dark handles dump nothing and ignore restores.
+        let dark = Telemetry::noop();
+        assert!(dark.dump().is_empty());
+        dark.restore(&dump);
+        assert!(dark.snapshot().entries.is_empty());
     }
 
     #[test]

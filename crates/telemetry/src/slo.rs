@@ -57,6 +57,25 @@ impl SloSpec {
             ],
         }
     }
+
+    /// Fleet availability under supervision: a tenant-tick is *bad* when
+    /// the supervisor skipped it because the tenant was quarantined, so
+    /// the ratio tracks the fraction of tenant-ticks not served by a live
+    /// policy. Budget: at most 5% of tenant-ticks lost to quarantine —
+    /// generous enough that a single poisoned tenant in a small fleet
+    /// alerts through burn rate (its own ticks go 100% bad) without
+    /// instantly exhausting the whole fleet's budget. Same multi-window
+    /// burn shape as [`SloSpec::violation_rate_default`].
+    pub fn fleet_availability_default() -> SloSpec {
+        SloSpec {
+            name: "fleet_availability".to_string(),
+            objective: 0.05,
+            burn: vec![
+                BurnRule { long: 36, short: 6, factor: 6.0 },
+                BurnRule { long: 144, short: 36, factor: 3.0 },
+            ],
+        }
+    }
 }
 
 /// Per-tick `(bad, total)` counts. For one tenant each tick contributes

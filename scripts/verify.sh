@@ -119,6 +119,41 @@ grep -q '"tenant":"t0000"' "$trace_tmp/f1.jsonl" || {
 }
 echo "ok: fleet summary and tenant trace independent of thread count"
 
+echo "== crash recovery (kill mid-tick → resume → byte-identical) =="
+# The supervised fleet's strongest claim (DESIGN.md §12): a run killed
+# mid-flight and resumed from its checkpoint is byte-identical to the
+# run that never died — stdout, sanitized trace, and metric exposition —
+# even when the kill and resume legs use different thread counts.
+RPAS_LOG=off cargo run -q --release --offline --bin cli -- \
+    fleet --tenants 16 --days 2 --faults heavy --slo-report \
+    --trace-out "$trace_tmp/cr_a.jsonl" --metrics-out "$trace_tmp/cr_a.m" \
+    > "$trace_tmp/cr_a.txt"
+RPAS_LOG=off RPAS_THREADS=1 cargo run -q --release --offline --bin cli -- \
+    fleet --tenants 16 --days 2 --faults heavy --slo-report \
+    --kill-at-tick 150 --checkpoint-out "$trace_tmp/cr.ckpt" > /dev/null
+RPAS_LOG=off RPAS_THREADS=2 cargo run -q --release --offline --bin cli -- \
+    fleet --resume-from "$trace_tmp/cr.ckpt" \
+    --trace-out "$trace_tmp/cr_b.jsonl" --metrics-out "$trace_tmp/cr_b.m" \
+    > "$trace_tmp/cr_b.txt"
+# The only permitted difference is the echoed output paths.
+diff <(grep -v "^wrote " "$trace_tmp/cr_a.txt") \
+     <(grep -v "^wrote " "$trace_tmp/cr_b.txt")
+diff "$trace_tmp/cr_a.jsonl" "$trace_tmp/cr_b.jsonl"
+diff "$trace_tmp/cr_a.m" "$trace_tmp/cr_b.m"
+grep -q "^availability      : " "$trace_tmp/cr_a.txt" || {
+    echo "ERROR: supervised fleet did not report the availability SLO" >&2
+    exit 1
+}
+# obs diff must self-zero across the crash boundary too.
+cargo run -q --release --offline --bin cli -- \
+    obs diff --a "$trace_tmp/cr_a.jsonl" --b "$trace_tmp/cr_b.jsonl" \
+    > "$trace_tmp/cr_diff.txt"
+grep -q "divergence        : none" "$trace_tmp/cr_diff.txt" || {
+    echo "ERROR: obs diff found divergence across the crash boundary" >&2
+    exit 1
+}
+echo "ok: kill/resume run byte-identical to the uninterrupted run"
+
 echo "== telemetry gate (SLO report, metrics, obs query/diff, noop budget) =="
 # 1. The SLO report and metric exposition must be byte-identical across
 #    thread counts — the telemetry pipeline shares the fleet's

@@ -12,8 +12,9 @@
 use rpas::cli::ParsedArgs;
 use rpas::core::{
     backtest_quantile_obs, uncertainty_series, AdaptiveConfig, FleetConfig, FleetEngine,
-    QuantilePredictivePolicy, ReactiveAvg, ReactiveMax, ReplanSchedule, ResilienceConfig,
-    ResilientManager, RobustAutoScalingManager, ScalingStrategy, TenantPolicyKind, TracePreset,
+    FleetSupervisor, QuantilePredictivePolicy, ReactiveAvg, ReactiveMax, ReplanSchedule,
+    ResilienceConfig, ResilientManager, RobustAutoScalingManager, ScalingStrategy,
+    SupervisorConfig, TenantPolicyKind, TracePreset,
 };
 use rpas::forecast::{
     Arima, ArimaConfig, DeepAr, DeepArConfig, Forecaster, HoltWinters, HoltWintersConfig,
@@ -77,6 +78,18 @@ COMMANDS
              and fleet-wide; deterministic at any RPAS_THREADS
              --metrics-out FILE  — write the metric registry snapshot
              (canonical text exposition) after the run
+             Tenants are run under a supervisor: a panicking tenant is
+             isolated (siblings unaffected), circuit-broken into
+             quarantine after repeated failures, and re-admitted through
+             probation with exponential backoff. The fleet-availability
+             SLO (quarantine-skipped ticks) is always evaluated.
+             --checkpoint-out FILE — write a schema-v1 fleet checkpoint
+             (at the kill point, or after the run completes)
+             --kill-at-tick N  — chaos mode: stop after N ticks, write
+             the checkpoint, and exit without reports
+             --resume-from FILE — rebuild the fleet from a checkpoint
+             and continue; reports/traces/metrics are byte-identical to
+             the uninterrupted run (shape flags are ignored)
   trace-report  summarize a schema-v1 JSONL trace
              --trace FILE
   obs query  filter/group/aggregate a schema-v1 JSONL trace
@@ -724,107 +737,189 @@ fn chaos(a: &ParsedArgs, obs: &Obs) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Canonical fault-profile label derived from the *config* (not the raw
+/// flag), so a resumed run — which only has the checkpoint's embedded
+/// config — prints byte-identical stdout to the uninterrupted run.
+fn fault_label(faults: &Option<FaultConfig>) -> String {
+    match faults {
+        None => "none".to_string(),
+        Some(f) if *f == FaultConfig::light() => "light".to_string(),
+        Some(f) if *f == FaultConfig::heavy() => "heavy".to_string(),
+        Some(f) => format!(
+            "scale_fail={},delay={},delay_max={},crash={},dropout={},anomaly={},anomaly_max={},anomaly_mult={}",
+            f.scale_fail_prob,
+            f.provision_delay_prob,
+            f.provision_delay_max_steps,
+            f.node_crash_prob,
+            f.metric_dropout_prob,
+            f.anomaly_start_prob,
+            f.anomaly_max_steps,
+            f.anomaly_max_mult,
+        ),
+    }
+}
+
 /// Multi-tenant fleet simulation: N tenants, each with its own trace
 /// (child-seeded from --seed), forecaster state, and scaling policy,
-/// advanced by one [`FleetEngine`] over the shared worker pool. Same
-/// flags → byte-identical stdout and --trace-out artifact at any
-/// `RPAS_THREADS`.
+/// advanced under a [`FleetSupervisor`] over the shared worker pool —
+/// panicking tenants are isolated and quarantined instead of taking the
+/// process down. Same flags → byte-identical stdout and --trace-out
+/// artifact at any `RPAS_THREADS`, including across a
+/// --kill-at-tick/--resume-from crash-recovery cycle.
 fn fleet(a: &ParsedArgs, obs: &Obs) -> Result<(), Box<dyn std::error::Error>> {
-    let (days_d, _, _) = profile_defaults();
-    let tenants: usize = a.get_or("tenants", 16)?;
-    if tenants == 0 {
-        return Err("--tenants must be at least 1".into());
-    }
-    let seed: u64 = a.get_or("seed", 7)?;
-    let days: usize = a.get_or("days", days_d.max(4))?;
-    if days < 2 {
-        return Err("--days must be at least 2 (forecasters fit on the first half)".into());
-    }
-    let theta: f64 = a.get_or("theta", 60.0)?;
-    if theta <= 0.0 {
-        return Err("--theta must be positive".into());
-    }
-    let min_nodes: u32 = a.get_or("min-nodes", 1)?;
-    let tau: f64 = a.get_or("tau", 0.9)?;
-    if !(0.0 < tau && tau < 1.0) {
-        return Err("--tau must be in (0,1)".into());
-    }
-    let context: usize = a.get_or("context", STEPS_PER_DAY)?;
-    let horizon: usize = a.get_or("horizon", 72)?;
-    if context == 0 || horizon == 0 {
-        return Err("--context and --horizon must be at least 1".into());
-    }
-
-    let policies_raw = a.get("policies").unwrap_or("predictive,resilient,reactive-max");
-    let mut policies = Vec::new();
-    for name in policies_raw.split(',').map(str::trim).filter(|s| !s.is_empty()) {
-        policies.push(
-            TenantPolicyKind::parse(name).ok_or_else(|| format!("unknown policy {name:?}"))?,
-        );
-    }
-    let presets_raw = a.get("presets").unwrap_or("alibaba,google");
-    let mut presets = Vec::new();
-    for name in presets_raw.split(',').map(str::trim).filter(|s| !s.is_empty()) {
-        presets
-            .push(TracePreset::parse(name).ok_or_else(|| format!("unknown preset {name:?}"))?);
-    }
-    if policies.is_empty() || presets.is_empty() {
-        return Err("--policies and --presets must each select at least one entry".into());
-    }
-
-    let faults_raw = a.get("faults").unwrap_or("none");
-    let faults = match faults_raw {
-        "none" => None,
-        "light" => Some(FaultConfig::light()),
-        "heavy" => Some(FaultConfig::heavy()),
-        spec => {
-            let cfg = FaultConfig::from_spec(spec)?;
-            cfg.validate()?;
-            Some(cfg)
-        }
-    };
-
-    let slo_report = match a.get("slo-report").unwrap_or("off") {
-        "on" | "true" | "1" => true,
-        "off" | "false" | "0" => false,
-        other => return Err(format!("--slo-report takes on|off, got {other:?}").into()),
-    };
     let metrics_out = a.get("metrics-out");
     let trace_out = a.get("trace-out");
-    let cfg = FleetConfig {
-        tenants,
-        seed,
-        days,
-        theta,
-        min_nodes,
-        tau,
-        schedule: ReplanSchedule { context, horizon },
-        policies,
-        presets,
-        resilience: ResilienceConfig::default(),
-        faults,
-        capture_events: trace_out.is_some(),
-        slo: slo_report.then(SloSpec::violation_rate_default),
+    let checkpoint_out = a.get("checkpoint-out");
+    let resume_from = a.get("resume-from");
+    let kill_at: Option<u64> = match a.get("kill-at-tick") {
+        None => None,
+        Some(raw) => Some(raw.parse().map_err(|e| format!("--kill-at-tick: {e}"))?),
+    };
+    if kill_at.is_some() && checkpoint_out.is_none() {
+        return Err("--kill-at-tick requires --checkpoint-out (a crash without a checkpoint loses the run)".into());
+    }
+
+    // The registry only pays its recording cost when something will read
+    // it; otherwise every handle stays on the dark path. Checkpoints
+    // embed the registry, so they force it live too.
+    let tel = if metrics_out.is_some() || checkpoint_out.is_some() || resume_from.is_some() {
+        Telemetry::live()
+    } else {
+        Telemetry::noop()
     };
 
-    obs.info("fleet", "start", |e| {
-        e.field("tenants", tenants).field("days", days).field("seed", seed);
-    });
-    // The registry only pays its recording cost when something will read
-    // it; otherwise every handle stays on the dark path.
-    let tel =
-        if metrics_out.is_some() { Telemetry::live() } else { Telemetry::noop() };
-    let mut engine = FleetEngine::with_telemetry(&cfg, &tel).with_obs(obs.clone());
-    engine.run_to_completion();
-    let report = engine.finish();
+    let (mut sup, cfg) = if let Some(path) = resume_from {
+        // Everything about the fleet — tenant mix, seeds, faults, SLO —
+        // comes from the checkpoint; shape flags are ignored on resume.
+        let text = std::fs::read_to_string(path)?;
+        let (sup, cfg) = rpas::core::checkpoint::load(&text, &tel, obs.clone())
+            .map_err(|e| format!("{path}: {e}"))?;
+        obs.info("fleet", "resume", |e| {
+            e.field("path", path).field("tick", sup.ticks_done());
+        });
+        (sup, cfg)
+    } else {
+        let (days_d, _, _) = profile_defaults();
+        let tenants: usize = a.get_or("tenants", 16)?;
+        if tenants == 0 {
+            return Err("--tenants must be at least 1".into());
+        }
+        let seed: u64 = a.get_or("seed", 7)?;
+        let days: usize = a.get_or("days", days_d.max(4))?;
+        if days < 2 {
+            return Err("--days must be at least 2 (forecasters fit on the first half)".into());
+        }
+        let theta: f64 = a.get_or("theta", 60.0)?;
+        if theta <= 0.0 {
+            return Err("--theta must be positive".into());
+        }
+        let min_nodes: u32 = a.get_or("min-nodes", 1)?;
+        let tau: f64 = a.get_or("tau", 0.9)?;
+        if !(0.0 < tau && tau < 1.0) {
+            return Err("--tau must be in (0,1)".into());
+        }
+        let context: usize = a.get_or("context", STEPS_PER_DAY)?;
+        let horizon: usize = a.get_or("horizon", 72)?;
+        if context == 0 || horizon == 0 {
+            return Err("--context and --horizon must be at least 1".into());
+        }
 
-    let ticks = days * STEPS_PER_DAY;
+        let policies_raw = a.get("policies").unwrap_or("predictive,resilient,reactive-max");
+        let mut policies = Vec::new();
+        for name in policies_raw.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            policies.push(
+                TenantPolicyKind::parse(name).ok_or_else(|| format!("unknown policy {name:?}"))?,
+            );
+        }
+        let presets_raw = a.get("presets").unwrap_or("alibaba,google");
+        let mut presets = Vec::new();
+        for name in presets_raw.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            presets
+                .push(TracePreset::parse(name).ok_or_else(|| format!("unknown preset {name:?}"))?);
+        }
+        if policies.is_empty() || presets.is_empty() {
+            return Err("--policies and --presets must each select at least one entry".into());
+        }
+
+        let faults_raw = a.get("faults").unwrap_or("none");
+        let faults = match faults_raw {
+            "none" => None,
+            "light" => Some(FaultConfig::light()),
+            "heavy" => Some(FaultConfig::heavy()),
+            spec => {
+                let cfg = FaultConfig::from_spec(spec)?;
+                cfg.validate()?;
+                Some(cfg)
+            }
+        };
+
+        let slo_report = match a.get("slo-report").unwrap_or("off") {
+            "on" | "true" | "1" => true,
+            "off" | "false" | "0" => false,
+            other => return Err(format!("--slo-report takes on|off, got {other:?}").into()),
+        };
+        let cfg = FleetConfig {
+            tenants,
+            seed,
+            days,
+            theta,
+            min_nodes,
+            tau,
+            schedule: ReplanSchedule { context, horizon },
+            policies,
+            presets,
+            resilience: ResilienceConfig::default(),
+            faults,
+            // Checkpoints carry the capture buffers, so a kill run must
+            // record even though it never writes the trace itself.
+            capture_events: trace_out.is_some() || checkpoint_out.is_some(),
+            slo: slo_report.then(SloSpec::violation_rate_default),
+        };
+
+        obs.info("fleet", "start", |e| {
+            e.field("tenants", tenants).field("days", days).field("seed", seed);
+        });
+        let engine = FleetEngine::with_telemetry(&cfg, &tel).with_obs(obs.clone());
+        (FleetSupervisor::wrap_with(engine, SupervisorConfig::default(), &tel), cfg)
+    };
+
+    if let Some(kill) = kill_at {
+        // Chaos mode: advance to the kill point, persist, and "crash"
+        // (exit without reports) — the resumed run must be byte-identical
+        // to one that never died.
+        while !sup.is_done() && sup.ticks_done() < kill {
+            sup.tick();
+        }
+        let path = checkpoint_out.expect("checked above");
+        let text = rpas::core::checkpoint::save(&sup, &cfg, &tel)?;
+        std::fs::write(path, &text)?;
+        obs.warn("fleet", "killed", |e| {
+            e.field("tick", sup.ticks_done()).field("path", path);
+        });
+        println!("wrote checkpoint at tick {} to {path}", sup.ticks_done());
+        return Ok(());
+    }
+
+    sup.run_to_completion();
+    if let Some(path) = checkpoint_out {
+        let text = rpas::core::checkpoint::save(&sup, &cfg, &tel)?;
+        std::fs::write(path, &text)?;
+        println!("wrote checkpoint at tick {} to {path}", sup.ticks_done());
+    }
+    let report = sup.finish();
+
+    let ticks = cfg.days * STEPS_PER_DAY;
+    let policies_label =
+        cfg.policies.iter().map(|p| p.name()).collect::<Vec<_>>().join(",");
+    let presets_label =
+        cfg.presets.iter().map(|p| p.name()).collect::<Vec<_>>().join(",");
     println!(
-        "fleet             : {tenants} tenant(s) × {ticks} tick(s), θ={theta}, seed {seed}"
+        "fleet             : {} tenant(s) × {ticks} tick(s), θ={}, seed {}",
+        cfg.tenants, cfg.theta, cfg.seed
     );
-    println!("policy mix        : {policies_raw}");
-    println!("preset mix        : {presets_raw}");
-    println!("faults            : {faults_raw}");
+    println!("policy mix        : {policies_label}");
+    println!("preset mix        : {presets_label}");
+    println!("faults            : {}", fault_label(&cfg.faults));
     println!("violation rate    : {:.4}", report.qos.violation_rate);
     println!("node steps        : {}", report.qos.node_steps);
     println!("over-prov steps   : {}", report.qos.over_provision_node_steps);
@@ -847,6 +942,28 @@ fn fleet(a: &ParsedArgs, obs: &Obs) -> Result<(), Box<dyn std::error::Error>> {
                 t.qos.regret_node_steps,
                 t.qos.violation_rate,
                 t.faults_applied,
+            );
+        }
+    }
+
+    if let Some(av) = &report.availability {
+        println!(
+            "availability      : {} (bad {} / {} tenant-ticks)",
+            if av.fleet.met { "met" } else { "violated" },
+            av.fleet.bad,
+            av.fleet.total
+        );
+    }
+    if !report.quarantined.is_empty() {
+        println!("quarantined       : {} tenant(s)", report.quarantined.len());
+        for q in &report.quarantined {
+            println!(
+                "  {}  strikes {}  until tick {}  reason: {}  last error: {}",
+                q.id,
+                q.strikes,
+                q.until_tick,
+                q.reason,
+                q.last_error.as_deref().unwrap_or("-"),
             );
         }
     }

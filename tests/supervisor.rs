@@ -1,0 +1,213 @@
+//! Fleet supervision end-to-end: panic isolation, quarantine surfacing,
+//! and deterministic checkpoint/restore.
+//!
+//! The contract under test is the strongest determinism claim in the
+//! workspace: a supervised fleet killed at *any* tick and resumed from
+//! its checkpoint produces byte-identical reports, sanitized traces, and
+//! metric expositions to the run that never died — at any
+//! `RPAS_THREADS`. As in `tests/fleet.rs`, every mutation of the
+//! process-global `RPAS_THREADS` stays inside a single test function.
+
+use rpas::core::checkpoint;
+use rpas::core::{
+    FleetConfig, FleetEngine, FleetReport, FleetSupervisor, SupervisorConfig, TenantHealth,
+};
+use rpas::obs::Obs;
+use rpas::simdb::{FaultConfig, Observation, PolicyHealth, ScalingPolicy};
+use rpas::telemetry::{SloSpec, Telemetry};
+
+fn fleet_cfg(tenants: usize) -> FleetConfig {
+    let mut cfg = FleetConfig::new(tenants, 42);
+    cfg.days = 2;
+    cfg.capture_events = true;
+    cfg.faults = Some(FaultConfig::heavy());
+    cfg.slo = Some(SloSpec::violation_rate_default());
+    cfg
+}
+
+fn supervised(cfg: &FleetConfig, tel: &Telemetry) -> FleetSupervisor {
+    FleetSupervisor::wrap_with(
+        FleetEngine::with_telemetry(cfg, tel),
+        SupervisorConfig::default(),
+        tel,
+    )
+}
+
+fn reference_run(cfg: &FleetConfig) -> (FleetReport, String) {
+    let tel = Telemetry::live();
+    let mut sup = supervised(cfg, &tel);
+    sup.run_to_completion();
+    (sup.finish(), tel.snapshot().exposition())
+}
+
+/// Kill at a fixed tick, resume from the checkpoint text, and finish —
+/// returning what the resumed process would report.
+fn kill_and_resume(cfg: &FleetConfig, kill_at: u64) -> (FleetReport, String) {
+    let tel = Telemetry::live();
+    let mut sup = supervised(cfg, &tel);
+    for _ in 0..kill_at {
+        sup.tick();
+    }
+    let text = checkpoint::save(&sup, cfg, &tel).expect("checkpointable fleet");
+    drop(sup); // the "crash": nothing survives but the checkpoint text
+
+    let tel2 = Telemetry::live();
+    let (mut resumed, _) = checkpoint::load(&text, &tel2, Obs::noop()).expect("valid checkpoint");
+    resumed.run_to_completion();
+    (resumed.finish(), tel2.snapshot().exposition())
+}
+
+#[test]
+fn kill_resume_is_byte_identical_across_thread_counts() {
+    let cfg = fleet_cfg(16);
+    std::env::remove_var("RPAS_THREADS");
+    let (reference, reference_expo) = reference_run(&cfg);
+
+    // The killed run and the resumed run each pick their own worker
+    // count; no combination may shift a byte.
+    for threads in [Some("1"), Some("2"), None] {
+        match threads {
+            Some(n) => std::env::set_var("RPAS_THREADS", n),
+            None => std::env::remove_var("RPAS_THREADS"),
+        }
+        let (report, expo) = kill_and_resume(&cfg, 117);
+        assert_eq!(report, reference, "RPAS_THREADS={threads:?}");
+        assert_eq!(expo, reference_expo, "metric exposition at RPAS_THREADS={threads:?}");
+    }
+    std::env::remove_var("RPAS_THREADS");
+}
+
+#[test]
+fn checkpoint_restore_at_any_tick_reproduces_the_run() {
+    // The full every-tick sweep of a 64-tenant fleet is a release-build
+    // property (RPAS_CHECKPOINT_EVERY_TICK=1 runs it; scripts/verify.sh
+    // exercises the CLI path); the default stride keeps tier-1 fast
+    // while still sampling early, mid-run, replan-boundary and
+    // nearly-done resume points.
+    let stride: u64 = if std::env::var("RPAS_CHECKPOINT_EVERY_TICK").is_ok() { 1 } else { 47 };
+    let cfg = fleet_cfg(64);
+    let (reference, reference_expo) = reference_run(&cfg);
+
+    // One advancing fleet, checkpointed as it goes — every saved text is
+    // then resumed independently and must land on the same bytes.
+    let tel = Telemetry::live();
+    let mut sup = supervised(&cfg, &tel);
+    let mut saved = Vec::new();
+    loop {
+        if sup.ticks_done() % stride == 0 || sup.is_done() {
+            saved.push((sup.ticks_done(), checkpoint::save(&sup, &cfg, &tel).unwrap()));
+        }
+        if sup.is_done() {
+            break;
+        }
+        sup.tick();
+    }
+    assert!(saved.len() >= 5, "expected several resume points, got {}", saved.len());
+
+    for (tick, text) in &saved {
+        let tel2 = Telemetry::live();
+        let (mut resumed, _) =
+            checkpoint::load(text, &tel2, Obs::noop()).unwrap_or_else(|e| {
+                panic!("checkpoint at tick {tick} failed to load: {e}")
+            });
+        assert_eq!(resumed.ticks_done(), *tick);
+        resumed.run_to_completion();
+        assert_eq!(resumed.finish(), reference, "resume from tick {tick}");
+        assert_eq!(
+            tel2.snapshot().exposition(),
+            reference_expo,
+            "metric exposition after resume from tick {tick}"
+        );
+    }
+}
+
+/// A policy that panics on every decision — the poisoned tenant.
+struct AlwaysPanics;
+
+impl ScalingPolicy for AlwaysPanics {
+    fn name(&self) -> &'static str {
+        "always-panics"
+    }
+    fn decide(&mut self, _obs: &Observation) -> u32 {
+        panic!("injected failure")
+    }
+    fn health(&self) -> PolicyHealth {
+        PolicyHealth::Healthy
+    }
+}
+
+#[test]
+fn poisoned_tenant_is_isolated_quarantined_and_surfaced() {
+    let cfg = fleet_cfg(16);
+    let (clean, _) = reference_run(&cfg);
+
+    // Same fleet, tenant 5 poisoned. Silence the panic hook while the
+    // supervisor absorbs the injected panics.
+    let tel = Telemetry::live();
+    let mut engine = FleetEngine::with_telemetry(&cfg, &tel);
+    engine.set_policy(5, Box::new(AlwaysPanics));
+    let mut sup = FleetSupervisor::wrap_with(engine, SupervisorConfig::default(), &tel);
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    sup.run_to_completion();
+    std::panic::set_hook(hook);
+    assert!(matches!(sup.health(5), TenantHealth::Quarantined { .. }));
+    let report = sup.finish();
+
+    // Satellite guarantees: the quarantine is surfaced with reason and
+    // last error, and the poisoned tenant's capture buffer was drained
+    // into the sanitized trace rather than leaked.
+    assert_eq!(report.quarantined.len(), 1);
+    let q = &report.quarantined[0];
+    assert_eq!(q.id.to_string(), "t0005");
+    assert!(q.strikes >= 1, "repeated panics must escalate strikes");
+    assert!(q.reason.contains("panic"), "reason: {}", q.reason);
+    assert_eq!(q.last_error.as_deref(), Some("injected failure"));
+    assert!(
+        report
+            .trace_lines
+            .iter()
+            .any(|l| l.contains("\"tenant\":\"t0005\"") && l.contains("\"event\":\"quarantine\"")),
+        "quarantine events missing from the drained trace"
+    );
+
+    // Availability: the poisoned tenant blew its budget; siblings did not.
+    let av = report.availability.as_ref().expect("supervised runs evaluate availability");
+    assert!(!av.tenants[5].met);
+    assert!(av.tenants.iter().enumerate().all(|(i, s)| s.met || i == 5));
+
+    // Isolation: every sibling's summary is exactly what the clean run
+    // produced — the poisoned tenant never perturbed them.
+    for (i, (got, want)) in report.tenants.iter().zip(&clean.tenants).enumerate() {
+        if i == 5 {
+            continue;
+        }
+        assert_eq!(got, want, "sibling t{i:04} diverged from the clean run");
+    }
+
+    // Telemetry: the supervisor counters recorded the incident.
+    let expo = tel.snapshot().exposition();
+    assert!(expo.contains("supervisor.panics"), "missing panic counter:\n{expo}");
+    assert!(expo.contains("supervisor.quarantines"), "missing quarantine counter:\n{expo}");
+}
+
+#[test]
+fn checkpoints_from_quarantined_fleets_roundtrip() {
+    // Quarantine state (strikes, backoff deadline, probation progress,
+    // outage series) must survive a checkpoint, or a resumed fleet would
+    // re-admit a poisoned tenant on a different schedule. Injected
+    // policies cannot be serialized, so this uses a healthy fleet whose
+    // guard state is forced through the save/load path structurally:
+    // save mid-run, load, and re-save must agree byte-for-byte.
+    let cfg = fleet_cfg(8);
+    let tel = Telemetry::live();
+    let mut sup = supervised(&cfg, &tel);
+    for _ in 0..63 {
+        sup.tick();
+    }
+    let a = checkpoint::save(&sup, &cfg, &tel).unwrap();
+    let tel2 = Telemetry::live();
+    let (resumed, _) = checkpoint::load(&a, &tel2, Obs::noop()).unwrap();
+    let b = checkpoint::save(&resumed, &cfg, &tel2).unwrap();
+    assert_eq!(a, b, "save → load → save must be the identity");
+}

@@ -12,6 +12,7 @@
 //! * `quick` — scaled-down settings for smoke-testing the harness
 //!   (minutes → seconds). Numbers are NOT comparable to the paper.
 
+pub mod alloc;
 pub mod harness;
 pub mod models;
 pub mod output;

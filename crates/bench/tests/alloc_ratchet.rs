@@ -1,0 +1,78 @@
+//! Steady-state allocation ratchet for the supervised fleet tick loop.
+//!
+//! PR 9's hot-path overhaul made the supervised steady state
+//! allocation-free: the worker pool is persistent, the outage series is
+//! pre-reserved, quarantine reasons are `Arc<str>` built only on
+//! transitions, and `catch_unwind` costs nothing on the happy path.
+//! This test pins that property exactly — not "few allocations" but
+//! **zero** — so the next innocent `format!`/`clone()`/`Vec::new()`
+//! added to a tick handler fails CI instead of silently re-growing the
+//! 36% supervision overhead this PR removed.
+//!
+//! Kept to a single `#[test]`: the counting allocator observes the whole
+//! process, so a sibling test allocating concurrently would poison the
+//! armed section.
+
+use rpas_bench::alloc;
+use rpas_core::{FleetConfig, FleetEngine, FleetSupervisor};
+use rpas_simdb::{Observation, ScalingPolicy};
+
+#[global_allocator]
+static ALLOC: alloc::CountingAlloc = alloc::CountingAlloc;
+
+/// Hold-steady policy: after the initial transition every tick is a
+/// no-change decision, so the armed section measures the
+/// supervisor/session machinery alone.
+struct Hold;
+
+impl ScalingPolicy for Hold {
+    fn name(&self) -> &'static str {
+        "hold"
+    }
+    fn decide(&mut self, obs: &Observation<'_>) -> u32 {
+        obs.min_nodes
+    }
+}
+
+#[test]
+fn supervised_steady_state_ticks_do_not_allocate() {
+    assert!(alloc::installed(), "counting allocator must route this binary's allocations");
+
+    // Counts are exact and deterministic only single-threaded; the pool
+    // reads RPAS_THREADS at engine construction.
+    std::env::set_var("RPAS_THREADS", "1");
+    let mut cfg = FleetConfig::new(4, 7);
+    cfg.days = 2;
+    let mut engine = FleetEngine::new(&cfg);
+    for t in 0..cfg.tenants {
+        engine.set_policy(t, Box::new(Hold));
+    }
+    let mut sup = FleetSupervisor::wrap(engine);
+    std::env::remove_var("RPAS_THREADS");
+
+    // Warm up past the initial scale transition and any lazy one-time
+    // work, then demand exact silence for the rest of the run.
+    let warmup = 16;
+    for _ in 0..warmup {
+        sup.tick();
+    }
+    let measured = sup.total_ticks() - warmup;
+    assert!(measured >= 200, "run too short to be a meaningful steady state");
+
+    let (_, stats) = alloc::measure(|| {
+        while !sup.is_done() {
+            sup.tick();
+        }
+    });
+    assert_eq!(
+        stats.allocs, 0,
+        "supervised steady-state ticks allocated {} time(s) ({} bytes) over {} tick(s)",
+        stats.allocs, stats.bytes, measured
+    );
+    assert_eq!(stats.bytes, 0);
+
+    // The run still did real work and still reports correctly.
+    let report = sup.finish();
+    assert!(report.quarantined.is_empty());
+    assert_eq!(report.qos.total_steps, 4 * 2 * 144);
+}

@@ -364,7 +364,7 @@ fn write_policy(out: &mut String, policy: &TenantPolicy) -> Result<(), String> {
     Ok(())
 }
 
-fn write_guard(out: &mut String, health: &TenantHealth, failures: &[u64], strikes: u32, last_error: &Option<String>, outage: &[bool]) {
+fn write_guard(out: &mut String, health: &TenantHealth, failures: &[u64], strikes: u32, last_error: &Option<std::sync::Arc<str>>, outage: &[bool]) {
     out.push_str("{\"health\":");
     match health {
         TenantHealth::Healthy => out.push_str("{\"state\":\"healthy\"}"),
@@ -768,7 +768,9 @@ fn restore_policy(policy: &mut TenantPolicy, j: &Json, theta: f64, min_nodes: u3
     }
 }
 
-fn read_guard(j: &Json) -> Result<(TenantHealth, Vec<u64>, u32, Option<String>, Vec<bool>), String> {
+fn read_guard(
+    j: &Json,
+) -> Result<(TenantHealth, Vec<u64>, u32, Option<std::sync::Arc<str>>, Vec<bool>), String> {
     let m = obj(j, "guard")?;
     let h = obj(get(m, "health", "guard")?, "guard.health")?;
     let state = dec_s(get(h, "state", "health")?, "health.state")?;
@@ -776,7 +778,7 @@ fn read_guard(j: &Json) -> Result<(TenantHealth, Vec<u64>, u32, Option<String>, 
         "healthy" => TenantHealth::Healthy,
         "quarantined" => TenantHealth::Quarantined {
             until_tick: dec_u(get(h, "until", "health")?, "health.until")?,
-            reason: dec_s(get(h, "reason", "health")?, "health.reason")?,
+            reason: dec_s(get(h, "reason", "health")?, "health.reason")?.into(),
         },
         "probation" => TenantHealth::Probation {
             clean_ticks: dec_u(get(h, "clean", "health")?, "health.clean")?,
@@ -789,7 +791,7 @@ fn read_guard(j: &Json) -> Result<(TenantHealth, Vec<u64>, u32, Option<String>, 
         .collect::<Result<Vec<_>, _>>()?;
     let strikes = dec_u32(get(m, "strikes", "guard")?, "guard.strikes")?;
     let last_error = dec_opt(get(m, "last_error", "guard")?)
-        .map(|e| dec_s(e, "guard.last_error"))
+        .map(|e| dec_s(e, "guard.last_error").map(std::sync::Arc::from))
         .transpose()?;
     let outage_s = dec_s(get(m, "outage", "guard")?, "guard.outage")?;
     let outage = outage_s

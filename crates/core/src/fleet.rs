@@ -25,7 +25,7 @@ use crate::reactive::ReactiveMax;
 use crate::resilient::{ResilienceConfig, ResilientManager};
 use rpas_forecast::{Forecaster, SeasonalNaive};
 use rpas_obs::{Event, MemorySink, Obs};
-use rpas_par::{par_for_each_mut, par_map};
+use rpas_par::WorkerPool;
 use rpas_telemetry::{RatioSeries, SloReport, SloSpec, Telemetry};
 use rpas_simdb::{
     fleet_qos, tenant_qos, FaultConfig, FaultPlan, FleetQos, ScalingPolicy, SimConfig,
@@ -446,11 +446,17 @@ fn sanitize_event(ev: &Event, id: TenantId, seq: u64) -> String {
     ev.to_json()
 }
 
-/// A fleet of tenants advanced in lockstep over the shared worker pool.
+/// A fleet of tenants advanced in lockstep over a persistent worker
+/// pool. The pool is spawned once at construction (sized by
+/// `RPAS_THREADS` / the hardware count, read at that moment) and reused
+/// for every tick and for the build fan-out, so steady-state fan-outs
+/// pay two condvar round-trips instead of per-tick thread spawns and
+/// per-tenant mutex allocations.
 pub struct FleetEngine {
     pub(crate) runs: Vec<TenantRun>,
     pub(crate) slo: Option<SloSpec>,
     pub(crate) obs: Obs,
+    pub(crate) pool: WorkerPool,
 }
 
 impl FleetEngine {
@@ -468,8 +474,10 @@ impl FleetEngine {
     pub fn with_telemetry(cfg: &FleetConfig, tel: &Telemetry) -> Self {
         let specs = cfg.specs();
         let capture = cfg.capture_events;
-        let runs = par_map(&specs, |spec| TenantRun::build_inner(spec, capture, tel));
-        Self { runs, slo: cfg.slo.clone(), obs: Obs::noop() }
+        let pool = WorkerPool::for_jobs(specs.len());
+        let runs = pool
+            .map_indexed(specs.len(), |i| TenantRun::build_inner(&specs[i], capture, tel));
+        Self { runs, slo: cfg.slo.clone(), obs: Obs::noop(), pool }
     }
 
     /// Attach a fleet-level obs handle; [`FleetEngine::finish`] emits its
@@ -504,7 +512,7 @@ impl FleetEngine {
     /// stepped (0 when the whole fleet is done).
     pub fn tick(&mut self) -> usize {
         let stepped = std::sync::atomic::AtomicUsize::new(0);
-        par_for_each_mut(&mut self.runs, |_, run| {
+        self.pool.for_each_mut(&mut self.runs, |_, run| {
             if run.session.step(run.policy.as_dyn_mut()) {
                 stepped.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             }
@@ -516,7 +524,7 @@ impl FleetEngine {
     /// [`FleetEngine::tick`] until it returns 0, but each tenant's whole
     /// remaining run is one pool job (no per-tick fan-out overhead).
     pub fn run_to_completion(&mut self) {
-        par_for_each_mut(&mut self.runs, |_, run| {
+        self.pool.for_each_mut(&mut self.runs, |_, run| {
             while run.session.step(run.policy.as_dyn_mut()) {}
         });
     }

@@ -33,6 +33,15 @@ use rpas_traces::RollingWindows;
 // rpas-lint: allow-file(D2, reason = "Instant feeds only the wall_us timing fields of obs events; no result depends on it (determinism.rs pins this)")
 use std::time::Instant;
 
+/// Incremental moment trackers (one-pass running mean/variance and its
+/// fixed-window rolling variant), re-exported from `rpas-tsmath` as part
+/// of the rolling-evaluation toolkit. These are what turned the
+/// `SeasonalNaive` sigma re-fit from an O(n) fold per update into an
+/// O(1) `observe` with bit-identical results (PR 9); policies that
+/// maintain rolling workload statistics should reach for these instead
+/// of re-folding a window slice every tick.
+pub use rpas_tsmath::stats::{RollingMoments, RunningMoments};
+
 /// Parameters of the rolling-origin protocol: forecast `horizon` steps
 /// from the `context` samples before them, advancing by `horizon` so the
 /// evaluation windows tile the series without overlap.

@@ -4,7 +4,7 @@
 //! well-behaved; one panicking `decide` would unwind through the worker
 //! pool and take the whole control plane down. [`FleetSupervisor`] wraps
 //! the engine in a supervision tree: every tenant tick runs inside
-//! `catch_unwind` (via `rpas-par`'s `par_for_each_mut_isolated`), a
+//! `catch_unwind` on the engine's persistent `rpas-par` worker pool, a
 //! panic is converted into a `supervisor/panic` obs event plus a
 //! `supervisor.panics` counter, and a per-tenant circuit breaker
 //! quarantines tenants that keep failing.
@@ -33,9 +33,11 @@
 //! executed prefix instead of livelocking the fleet.
 
 use crate::fleet::{FleetEngine, FleetReport, QuarantineRecord, TenantRun};
-use rpas_obs::{Event, Level, Sink};
-use rpas_par::par_for_each_mut_isolated;
+use rpas_obs::{Event, Level, Obs, Sink};
+use rpas_par::panic_message;
 use rpas_telemetry::{Counter, RatioSeries, SloReport, SloSpec, Telemetry};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// Circuit-breaker tuning for [`FleetSupervisor`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,8 +89,10 @@ pub enum TenantHealth {
     Quarantined {
         /// First tick at which the tenant is re-admitted (on probation).
         until_tick: u64,
-        /// Why the breaker opened.
-        reason: String,
+        /// Why the breaker opened. `Arc<str>` so re-quarantines and the
+        /// final [`QuarantineRecord`] share one allocation instead of
+        /// cloning the string on the tick path.
+        reason: Arc<str>,
     },
     /// Re-admitted after quarantine; one panic re-opens the breaker
     /// immediately, `probation_ticks` clean ticks restore full health.
@@ -105,8 +109,9 @@ pub(crate) struct TenantGuard {
     pub(crate) failures: Vec<u64>,
     /// Quarantines so far (drives the exponential backoff).
     pub(crate) strikes: u32,
-    /// Most recent panic message.
-    pub(crate) last_error: Option<String>,
+    /// Most recent panic message (shared with the quarantine record, so
+    /// the steady-state loop never clones it).
+    pub(crate) last_error: Option<Arc<str>>,
     /// One flag per supervised tick while the tenant was unfinished:
     /// `true` when the tick was lost (skipped in quarantine, or panicked).
     /// Feeds the fleet-availability SLO.
@@ -114,13 +119,15 @@ pub(crate) struct TenantGuard {
 }
 
 impl TenantGuard {
-    fn new() -> Self {
+    /// Fresh guard with its outage series pre-reserved for the whole
+    /// run, so the supervised tick loop never reallocates it.
+    fn new(total_ticks: u64) -> Self {
         Self {
             health: TenantHealth::Healthy,
             failures: Vec::new(),
             strikes: 0,
             last_error: None,
-            outage: Vec::new(),
+            outage: Vec::with_capacity(total_ticks as usize),
         }
     }
 }
@@ -181,7 +188,10 @@ impl FleetSupervisor {
     /// Panics on a degenerate config.
     pub fn wrap_with(engine: FleetEngine, cfg: SupervisorConfig, tel: &Telemetry) -> Self {
         cfg.validate();
-        let guards = engine.runs.iter().map(|_| TenantGuard::new()).collect();
+        let total_ticks =
+            engine.runs.iter().map(|run| run.session.len() as u64).max().unwrap_or(0);
+        let guards =
+            engine.runs.iter().map(|_| TenantGuard::new(total_ticks)).collect();
         let metrics = engine
             .runs
             .iter()
@@ -195,8 +205,6 @@ impl FleetSupervisor {
                 }
             })
             .collect();
-        let total_ticks =
-            engine.runs.iter().map(|run| run.session.len() as u64).max().unwrap_or(0);
         Self { engine, cfg, guards, metrics, tick: 0, total_ticks }
     }
 
@@ -238,157 +246,54 @@ impl FleetSupervisor {
             return 0;
         }
         let tick = self.tick;
-        self.admit_expired(tick);
-
-        let unfinished: Vec<bool> =
-            self.engine.runs.iter().map(|run| !run.is_done()).collect();
-        let eligible: Vec<bool> = self
-            .engine
-            .runs
-            .iter()
-            .zip(&self.guards)
-            .map(|(run, guard)| {
-                !run.is_done() && !matches!(guard.health, TenantHealth::Quarantined { .. })
-            })
-            .collect();
-
-        let stepped = std::sync::atomic::AtomicUsize::new(0);
-        let outcomes = par_for_each_mut_isolated(&mut self.engine.runs, |i, run| {
-            if eligible[i] && run.session.step(run.policy.as_dyn_mut()) {
-                stepped.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            }
-        });
-
-        let mut panicked = vec![false; self.guards.len()];
-        for (i, outcome) in outcomes.into_iter().enumerate() {
-            match outcome {
-                Some(message) => {
-                    panicked[i] = true;
-                    self.on_panic(i, tick, message);
-                }
-                None if eligible[i] => self.on_clean_tick(i, tick),
-                None => {}
-            }
-        }
-        for i in 0..self.guards.len() {
-            if unfinished[i] {
-                self.guards[i].outage.push(!eligible[i] || panicked[i]);
-            }
-        }
-        self.tick += 1;
-        stepped.into_inner()
+        let stepped = self.run_range(tick, tick + 1);
+        self.tick = tick + 1;
+        stepped
     }
 
     /// Drive the supervised run to its bound (the longest tenant trace).
+    ///
+    /// Unlike repeated [`FleetSupervisor::tick`] calls this fans out
+    /// *once*: each worker drives one tenant across the whole remaining
+    /// range. The two are byte-identical because a tenant's supervision
+    /// state depends only on its own history (see [`run_range`]).
     pub fn run_to_completion(&mut self) {
-        while !self.is_done() {
-            self.tick();
+        let (from, to) = (self.tick, self.total_ticks);
+        if from >= to {
+            return;
         }
+        self.run_range(from, to);
+        self.tick = to;
     }
 
-    /// Quarantine expiry: re-admit on probation.
-    fn admit_expired(&mut self, tick: u64) {
-        for (i, guard) in self.guards.iter_mut().enumerate() {
-            if let TenantHealth::Quarantined { until_tick, .. } = &guard.health {
-                if tick >= *until_tick {
-                    guard.health = TenantHealth::Probation { clean_ticks: 0 };
-                    guard.failures.clear();
-                    self.metrics[i].restores.inc(1);
-                    let run = &self.engine.runs[i];
-                    let tenant = run.spec.id.to_string();
-                    self.engine.obs.info("supervisor", "restore", |e| {
-                        e.field("tenant", tenant.as_str()).field("tick", tick);
-                    });
-                    capture_event(run, Level::Info, "restore", |e| {
-                        e.field("tick", tick);
-                    });
+    /// Supervise every tenant over ticks `[from, to)` on the engine's
+    /// persistent worker pool. Returns the number of clean steps.
+    ///
+    /// The per-tenant state machine (session cursor, circuit breaker,
+    /// outage series, capture buffer) has no cross-tenant coupling, so
+    /// tick-major and tenant-major iteration produce identical bytes;
+    /// tenant-major needs one pool fan-out per call instead of one per
+    /// tick. The only cross-tenant artifact is the interleaving of
+    /// fleet-level `engine.obs` events, which was already worker-order
+    /// dependent and is never byte-compared.
+    fn run_range(&mut self, from: u64, to: u64) -> usize {
+        let cfg = self.cfg;
+        let obs = &self.engine.obs;
+        let metrics = &self.metrics;
+        let stepped = std::sync::atomic::AtomicUsize::new(0);
+        self.engine.pool.for_each_mut2(
+            &mut self.engine.runs,
+            &mut self.guards,
+            |i, run, guard| {
+                let n = supervise_tenant_range(&cfg, obs, &metrics[i], run, guard, from, to);
+                if n > 0 {
+                    // Contended-cache write only when work happened, so a
+                    // drained tenant's ticks stay read-only.
+                    stepped.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
                 }
-            }
-        }
-    }
-
-    fn on_panic(&mut self, i: usize, tick: u64, message: String) {
-        self.metrics[i].panics.inc(1);
-        let run = &self.engine.runs[i];
-        let tenant = run.spec.id.to_string();
-        self.engine.obs.warn("supervisor", "panic", |e| {
-            e.field("tenant", tenant.as_str())
-                .field("tick", tick)
-                .field("error", message.as_str());
-        });
-        capture_event(run, Level::Warn, "panic", |e| {
-            e.field("tick", tick).field("error", message.as_str());
-        });
-
-        let guard = &mut self.guards[i];
-        guard.failures.retain(|&t| tick - t < self.cfg.failure_window);
-        guard.failures.push(tick);
-        guard.last_error = Some(message);
-
-        let (open, reason) = match guard.health {
-            // One panic on probation re-opens the breaker immediately.
-            TenantHealth::Probation { .. } => (true, "panic on probation".to_string()),
-            TenantHealth::Healthy => (
-                guard.failures.len() >= self.cfg.failure_threshold,
-                format!(
-                    "{} panics in {} ticks",
-                    guard.failures.len(),
-                    self.cfg.failure_window
-                ),
-            ),
-            TenantHealth::Quarantined { .. } => (false, String::new()),
-        };
-        if open {
-            self.quarantine(i, tick, reason);
-        }
-    }
-
-    fn quarantine(&mut self, i: usize, tick: u64, reason: String) {
-        let guard = &mut self.guards[i];
-        guard.strikes += 1;
-        let exponent = u32::min(guard.strikes - 1, 32);
-        let backoff = self
-            .cfg
-            .base_backoff_ticks
-            .saturating_mul(1u64 << exponent.min(62))
-            .min(self.cfg.max_backoff_ticks);
-        let until_tick = tick + 1 + backoff;
-        guard.health = TenantHealth::Quarantined { until_tick, reason: reason.clone() };
-        guard.failures.clear();
-        self.metrics[i].quarantines.inc(1);
-        let strikes = guard.strikes;
-        let run = &self.engine.runs[i];
-        let tenant = run.spec.id.to_string();
-        self.engine.obs.warn("supervisor", "quarantine", |e| {
-            e.field("tenant", tenant.as_str())
-                .field("tick", tick)
-                .field("until_tick", until_tick)
-                .field("strikes", u64::from(strikes))
-                .field("reason", reason.as_str());
-        });
-        capture_event(run, Level::Warn, "quarantine", |e| {
-            e.field("tick", tick)
-                .field("until_tick", until_tick)
-                .field("strikes", u64::from(strikes))
-                .field("reason", reason.as_str());
-        });
-    }
-
-    fn on_clean_tick(&mut self, i: usize, tick: u64) {
-        if let TenantHealth::Probation { clean_ticks } = &mut self.guards[i].health {
-            *clean_ticks += 1;
-            if *clean_ticks >= self.cfg.probation_ticks {
-                self.guards[i].health = TenantHealth::Healthy;
-                let run = &self.engine.runs[i];
-                let tenant = run.spec.id.to_string();
-                self.engine.obs.info("supervisor", "healthy", |e| {
-                    e.field("tenant", tenant.as_str()).field("tick", tick);
-                });
-                capture_event(run, Level::Info, "healthy", |e| {
-                    e.field("tick", tick);
-                });
-            }
-        }
+            },
+        );
+        stepped.into_inner()
     }
 
     /// Finish the supervised run: evaluate the fleet-availability SLO
@@ -418,8 +323,8 @@ impl FleetSupervisor {
             .filter_map(|(run, guard)| match &guard.health {
                 TenantHealth::Quarantined { until_tick, reason } => Some(QuarantineRecord {
                     id: run.spec.id,
-                    reason: reason.clone(),
-                    last_error: guard.last_error.clone(),
+                    reason: reason.to_string(),
+                    last_error: guard.last_error.as_ref().map(|s| s.to_string()),
                     strikes: guard.strikes,
                     until_tick: *until_tick,
                 }),
@@ -427,6 +332,183 @@ impl FleetSupervisor {
             })
             .collect();
         self.engine.finish_supervised(quarantined, Some(availability))
+    }
+}
+
+/// Drive one tenant through supervised ticks `[from, to)`: re-admit on
+/// quarantine expiry, step with panic isolation, feed the circuit
+/// breaker, and record the outage flag. Returns the clean-step count.
+///
+/// Steady state (healthy tenant, no panic) allocates nothing: the
+/// outage series is pre-reserved, `catch_unwind` is free on the happy
+/// path, and event/reason strings are built only on supervision
+/// transitions.
+///
+/// A tenant whose trace is done and whose breaker is closed can never
+/// emit another event or outage flag, so the loop exits early instead
+/// of idling through the rest of the fleet bound.
+fn supervise_tenant_range(
+    cfg: &SupervisorConfig,
+    obs: &Obs,
+    metrics: &GuardMetrics,
+    run: &mut TenantRun,
+    guard: &mut TenantGuard,
+    from: u64,
+    to: u64,
+) -> usize {
+    let mut stepped = 0;
+    for tick in from..to {
+        admit_expired(obs, metrics, run, guard, tick);
+        let unfinished = !run.is_done();
+        let eligible =
+            unfinished && !matches!(guard.health, TenantHealth::Quarantined { .. });
+        let mut panicked = false;
+        if eligible {
+            match catch_unwind(AssertUnwindSafe(|| {
+                run.session.step(run.policy.as_dyn_mut())
+            })) {
+                Ok(advanced) => {
+                    if advanced {
+                        stepped += 1;
+                    }
+                    on_clean_tick(cfg, obs, run, guard, tick);
+                }
+                Err(payload) => {
+                    panicked = true;
+                    on_panic(cfg, obs, metrics, run, guard, tick, panic_message(payload));
+                }
+            }
+        }
+        if unfinished {
+            guard.outage.push(!eligible || panicked);
+        } else if !matches!(guard.health, TenantHealth::Quarantined { .. }) {
+            break;
+        }
+    }
+    stepped
+}
+
+/// Quarantine expiry: re-admit on probation.
+fn admit_expired(
+    obs: &Obs,
+    metrics: &GuardMetrics,
+    run: &TenantRun,
+    guard: &mut TenantGuard,
+    tick: u64,
+) {
+    if let TenantHealth::Quarantined { until_tick, .. } = &guard.health {
+        if tick >= *until_tick {
+            guard.health = TenantHealth::Probation { clean_ticks: 0 };
+            guard.failures.clear();
+            metrics.restores.inc(1);
+            let tenant = run.spec.id.to_string();
+            obs.info("supervisor", "restore", |e| {
+                e.field("tenant", tenant.as_str()).field("tick", tick);
+            });
+            capture_event(run, Level::Info, "restore", |e| {
+                e.field("tick", tick);
+            });
+        }
+    }
+}
+
+fn on_panic(
+    cfg: &SupervisorConfig,
+    obs: &Obs,
+    metrics: &GuardMetrics,
+    run: &TenantRun,
+    guard: &mut TenantGuard,
+    tick: u64,
+    message: String,
+) {
+    metrics.panics.inc(1);
+    let tenant = run.spec.id.to_string();
+    obs.warn("supervisor", "panic", |e| {
+        e.field("tenant", tenant.as_str())
+            .field("tick", tick)
+            .field("error", message.as_str());
+    });
+    capture_event(run, Level::Warn, "panic", |e| {
+        e.field("tick", tick).field("error", message.as_str());
+    });
+
+    guard.failures.retain(|&t| tick - t < cfg.failure_window);
+    guard.failures.push(tick);
+    guard.last_error = Some(Arc::from(message));
+
+    let reason: Option<Arc<str>> = match guard.health {
+        // One panic on probation re-opens the breaker immediately.
+        TenantHealth::Probation { .. } => Some(Arc::from("panic on probation")),
+        TenantHealth::Healthy if guard.failures.len() >= cfg.failure_threshold => {
+            Some(Arc::from(format!(
+                "{} panics in {} ticks",
+                guard.failures.len(),
+                cfg.failure_window
+            )))
+        }
+        _ => None,
+    };
+    if let Some(reason) = reason {
+        quarantine(cfg, obs, metrics, run, guard, tick, reason);
+    }
+}
+
+fn quarantine(
+    cfg: &SupervisorConfig,
+    obs: &Obs,
+    metrics: &GuardMetrics,
+    run: &TenantRun,
+    guard: &mut TenantGuard,
+    tick: u64,
+    reason: Arc<str>,
+) {
+    guard.strikes += 1;
+    let exponent = u32::min(guard.strikes - 1, 32);
+    let backoff = cfg
+        .base_backoff_ticks
+        .saturating_mul(1u64 << exponent.min(62))
+        .min(cfg.max_backoff_ticks);
+    let until_tick = tick + 1 + backoff;
+    guard.health =
+        TenantHealth::Quarantined { until_tick, reason: Arc::clone(&reason) };
+    guard.failures.clear();
+    metrics.quarantines.inc(1);
+    let strikes = guard.strikes;
+    let tenant = run.spec.id.to_string();
+    obs.warn("supervisor", "quarantine", |e| {
+        e.field("tenant", tenant.as_str())
+            .field("tick", tick)
+            .field("until_tick", until_tick)
+            .field("strikes", u64::from(strikes))
+            .field("reason", &*reason);
+    });
+    capture_event(run, Level::Warn, "quarantine", |e| {
+        e.field("tick", tick)
+            .field("until_tick", until_tick)
+            .field("strikes", u64::from(strikes))
+            .field("reason", &*reason);
+    });
+}
+
+fn on_clean_tick(
+    cfg: &SupervisorConfig,
+    obs: &Obs,
+    run: &TenantRun,
+    guard: &mut TenantGuard,
+    tick: u64,
+) {
+    if let TenantHealth::Probation { clean_ticks } = &mut guard.health {
+        *clean_ticks += 1;
+        if *clean_ticks >= cfg.probation_ticks {
+            guard.health = TenantHealth::Healthy;
+            let tenant = run.spec.id.to_string();
+            obs.info("supervisor", "healthy", |e| {
+                e.field("tenant", tenant.as_str()).field("tick", tick);
+            });
+            capture_event(run, Level::Info, "healthy", |e| {
+                e.field("tick", tick);
+            });
+        }
     }
 }
 

@@ -1,6 +1,6 @@
 //! # rpas-par
 //!
-//! Deterministic seed fan-out over a `std::thread::scope` worker pool.
+//! Deterministic seed fan-out over a persistent worker pool.
 //!
 //! Callers repeat expensive work per independent unit — the experiment
 //! binaries per training seed (Table I averages three runs; the figure
@@ -11,6 +11,18 @@
 //! any number of threads while the returned `Vec` stays in job order,
 //! byte-identical to a single-threaded run.
 //!
+//! Two usage shapes:
+//!
+//! * [`WorkerPool`] — spawn once, submit many times. The fleet engine
+//!   holds one pool for its whole run, so a per-tick fan-out costs two
+//!   condvar round-trips instead of `N` thread spawns, and work is
+//!   handed out via an atomic stripe cursor over disjoint index ranges
+//!   (no per-item mutex allocations).
+//! * The free functions ([`par_map_indexed`], [`par_for_each_mut`], …) —
+//!   thin adapters that build an ephemeral pool per call. They re-read
+//!   `RPAS_THREADS` on every invocation, which is what the thread-count
+//!   invariance tests rely on.
+//!
 //! Thread count: `min(RPAS_THREADS or available_parallelism, jobs)`.
 //! Setting `RPAS_THREADS=1` forces a sequential run (useful to confirm
 //! seed-determinism of a parallel binary). A set-but-unusable override
@@ -19,8 +31,9 @@
 //! are visible (see [`thread_override`] for the inspectable form).
 #![warn(missing_docs)]
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, Once};
+use std::sync::{Arc, Condvar, Mutex, Once};
 
 /// How the `RPAS_THREADS` environment override was interpreted.
 ///
@@ -79,47 +92,369 @@ pub fn worker_count(jobs: usize) -> usize {
     cap.min(jobs).max(1)
 }
 
-/// Run `f(0), f(1), …, f(jobs-1)` on a scoped worker pool and return the
-/// results in index order.
+/// One submitted fan-out, published to the workers under the pool mutex.
+///
+/// The job closure is type-erased to a `'static` trait-object reference;
+/// see the SAFETY discussion in [`WorkerPool::run`] for why the lifetime
+/// extension is sound.
+#[derive(Clone, Copy)]
+struct Job {
+    f: &'static (dyn Fn(usize) + Sync),
+    jobs: usize,
+    stripe: usize,
+}
+
+/// Dispatch state shared between the submitter and the worker threads.
+struct PoolState {
+    /// Bumped per submission; a worker runs each epoch exactly once.
+    epoch: u64,
+    /// The current job, present from submission until all workers drain.
+    job: Option<Job>,
+    /// Workers still running the current epoch.
+    active: usize,
+    /// First panic payload captured from a worker this epoch.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+    /// Set by `Drop`; workers exit at the next wakeup.
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Submitter → workers: a new epoch (or shutdown) is available.
+    work: Condvar,
+    /// Workers → submitter: `active` reached zero.
+    done: Condvar,
+    /// Next unclaimed job index of the current epoch; workers grab
+    /// disjoint `stripe`-sized ranges with one `fetch_add` each.
+    cursor: AtomicUsize,
+}
+
+/// A persistent worker pool: spawn once, submit many fan-outs.
+///
+/// `run(jobs, f)` applies `f(0), …, f(jobs-1)` exactly once each, with
+/// the submitting thread participating alongside `workers − 1` spawned
+/// threads. Work is handed out via an atomic stripe cursor over disjoint
+/// index ranges, so a submission performs no per-item allocation and no
+/// per-item locking — the steady-state cost of a fan-out is two condvar
+/// round-trips.
+///
+/// Results are byte-identical for any worker count provided `f` is a
+/// pure function of its index (the same contract as the free functions).
+/// A pool with `workers <= 1` spawns nothing and runs every submission
+/// inline, so `RPAS_THREADS=1` keeps the exact sequential code path.
+pub struct WorkerPool {
+    shared: Option<Arc<PoolShared>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    workers: usize,
+}
+
+/// A raw pointer that may cross threads. The pool's cursor hands each
+/// index to exactly one worker, so every dereference derived from a
+/// `SendPtr` inside a pool job targets a distinct element.
+struct SendPtr<T>(*mut T);
+// SAFETY: the pointer is only dereferenced at indices owned exclusively
+// by one worker (disjoint stripe ranges), and the pointee outlives the
+// submission (`run` blocks until every worker finished).
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+impl WorkerPool {
+    /// A pool with `workers` total workers (the submitting thread counts
+    /// as one, so `workers − 1` threads are spawned). `workers <= 1`
+    /// spawns nothing and runs submissions inline.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        if workers == 1 {
+            return Self { shared: None, handles: Vec::new(), workers };
+        }
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                active: 0,
+                panic: None,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            cursor: AtomicUsize::new(0),
+        });
+        let handles = (0..workers - 1)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || Self::worker_loop(&shared))
+            })
+            .collect();
+        Self { shared: Some(shared), handles, workers }
+    }
+
+    /// A pool sized by [`worker_count`] for `jobs` jobs — reads
+    /// `RPAS_THREADS` at construction time.
+    pub fn for_jobs(jobs: usize) -> Self {
+        Self::new(worker_count(jobs.max(1)))
+    }
+
+    /// Total workers, the submitting thread included.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn worker_loop(shared: &PoolShared) {
+        let mut seen_epoch = 0u64;
+        loop {
+            let job = {
+                let mut st = shared.state.lock().expect("pool state poisoned");
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    if st.epoch != seen_epoch {
+                        seen_epoch = st.epoch;
+                        break st.job.expect("epoch bumped without a job");
+                    }
+                    st = shared.work.wait(st).expect("pool state poisoned");
+                }
+            };
+            // Catch so one panicking job cannot abort the process from a
+            // detached thread; the payload is re-thrown on the submitter.
+            let result = catch_unwind(AssertUnwindSafe(|| drain(&shared.cursor, job)));
+            let mut st = shared.state.lock().expect("pool state poisoned");
+            if let Err(payload) = result {
+                if st.panic.is_none() {
+                    st.panic = Some(payload);
+                }
+            }
+            st.active -= 1;
+            if st.active == 0 {
+                shared.done.notify_one();
+            }
+        }
+    }
+
+    /// Apply `f` to every index in `0..jobs`, each exactly once, fanned
+    /// over the pool; the submitting thread participates. Blocks until
+    /// every index ran.
+    ///
+    /// # Panics
+    /// Propagates the first captured panic from any job, after all
+    /// workers have finished the submission (so sibling jobs still run
+    /// and the pool remains usable).
+    pub fn run<F>(&self, jobs: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if jobs == 0 {
+            return;
+        }
+        let shared = match &self.shared {
+            Some(shared) if jobs > 1 => shared,
+            _ => {
+                // Sequential pool (or a single job): the exact inline
+                // code path, no synchronization at all.
+                for i in 0..jobs {
+                    f(i);
+                }
+                return;
+            }
+        };
+        let f_obj: &(dyn Fn(usize) + Sync) = &f;
+        // SAFETY: the job reference escapes into worker threads only for
+        // the duration of this call — `run` does not return until every
+        // worker has decremented `active` for this epoch (and on a
+        // submitter-side panic the wait below still happens before the
+        // unwind resumes), after which no worker touches the job again.
+        // The lifetime extension to 'static is therefore never observed
+        // beyond the actual borrow.
+        let f_static: &'static (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute(f_obj) };
+        // Stripes keep cursor traffic low without starving workers:
+        // a few grabs per worker per submission.
+        let stripe = (jobs / (self.workers * 4)).max(1);
+        let job = Job { f: f_static, jobs, stripe };
+        {
+            let mut st = self.lock_state(shared);
+            shared.cursor.store(0, Ordering::Relaxed);
+            st.job = Some(job);
+            st.epoch = st.epoch.wrapping_add(1);
+            st.active = self.handles.len();
+            shared.work.notify_all();
+        }
+        // The submitter is a worker too; catch its own panic so we can
+        // join the spawned workers before unwinding (they still borrow
+        // the job closure).
+        let mine = catch_unwind(AssertUnwindSafe(|| drain(&shared.cursor, job)));
+        let worker_panic = {
+            let mut st = self.lock_state(shared);
+            while st.active > 0 {
+                st = shared.done.wait(st).expect("pool state poisoned");
+            }
+            st.job = None;
+            st.panic.take()
+        };
+        if let Err(payload) = mine {
+            resume_unwind(payload);
+        }
+        if let Some(payload) = worker_panic {
+            resume_unwind(payload);
+        }
+    }
+
+    fn lock_state<'a>(
+        &self,
+        shared: &'a PoolShared,
+    ) -> std::sync::MutexGuard<'a, PoolState> {
+        shared.state.lock().expect("pool state poisoned")
+    }
+
+    /// [`par_map_indexed`] on this pool: run `f` over `0..jobs` and
+    /// return the results in index order.
+    pub fn map_indexed<T, F>(&self, jobs: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if jobs == 0 {
+            return Vec::new();
+        }
+        if self.workers == 1 || jobs == 1 {
+            return (0..jobs).map(f).collect();
+        }
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(jobs);
+        slots.resize_with(jobs, || None);
+        let base = SendPtr(slots.as_mut_ptr());
+        self.run(jobs, |i| {
+            let out = f(i);
+            // SAFETY: index `i` is claimed by exactly one worker and the
+            // slot vector outlives `run` (which blocks until all workers
+            // finish), so this write never aliases another.
+            unsafe {
+                *base.get().add(i) = Some(out);
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("worker filled every slot"))
+            .collect()
+    }
+
+    /// [`par_for_each_mut`] on this pool: apply `f(i, &mut items[i])` to
+    /// every item in place.
+    pub fn for_each_mut<T, F>(&self, items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let jobs = items.len();
+        if jobs == 0 {
+            return;
+        }
+        if self.workers == 1 || jobs == 1 {
+            for (i, item) in items.iter_mut().enumerate() {
+                f(i, item);
+            }
+            return;
+        }
+        let base = SendPtr(items.as_mut_ptr());
+        self.run(jobs, |i| {
+            // SAFETY: the cursor hands each index to exactly one worker,
+            // so these `&mut` borrows are disjoint; the slice outlives
+            // `run`.
+            let item = unsafe { &mut *base.get().add(i) };
+            f(i, item);
+        });
+    }
+
+    /// Zip variant of [`WorkerPool::for_each_mut`]: apply
+    /// `f(i, &mut a[i], &mut b[i])` to every index. The fleet supervisor
+    /// uses this to advance each tenant run together with its circuit
+    /// breaker in one fan-out.
+    ///
+    /// # Panics
+    /// Panics when the slices have different lengths.
+    pub fn for_each_mut2<A, B, F>(&self, a: &mut [A], b: &mut [B], f: F)
+    where
+        A: Send,
+        B: Send,
+        F: Fn(usize, &mut A, &mut B) + Sync,
+    {
+        assert_eq!(a.len(), b.len(), "zipped slices must have equal length");
+        let jobs = a.len();
+        if jobs == 0 {
+            return;
+        }
+        if self.workers == 1 || jobs == 1 {
+            for (i, (ai, bi)) in a.iter_mut().zip(b.iter_mut()).enumerate() {
+                f(i, ai, bi);
+            }
+            return;
+        }
+        let base_a = SendPtr(a.as_mut_ptr());
+        let base_b = SendPtr(b.as_mut_ptr());
+        self.run(jobs, |i| {
+            // SAFETY: disjoint indices → disjoint `&mut` into each slice;
+            // both slices outlive `run`.
+            let ai = unsafe { &mut *base_a.get().add(i) };
+            let bi = unsafe { &mut *base_b.get().add(i) };
+            f(i, ai, bi);
+        });
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        if let Some(shared) = &self.shared {
+            {
+                let mut st = shared.state.lock().expect("pool state poisoned");
+                st.shutdown = true;
+                shared.work.notify_all();
+            }
+            for handle in self.handles.drain(..) {
+                // A worker thread's panics are captured per-epoch and
+                // re-thrown on the submitter, so join itself cannot fail
+                // unless the process is already unwinding through a bug.
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// Claim stripe-sized index ranges off the shared cursor until the job
+/// is exhausted.
+fn drain(cursor: &AtomicUsize, job: Job) {
+    loop {
+        let start = cursor.fetch_add(job.stripe, Ordering::Relaxed);
+        if start >= job.jobs {
+            break;
+        }
+        let end = (start + job.stripe).min(job.jobs);
+        for i in start..end {
+            (job.f)(i);
+        }
+    }
+}
+
+/// Run `f(0), f(1), …, f(jobs-1)` on an ephemeral worker pool and return
+/// the results in index order.
 ///
 /// `f` must be a pure function of its index (derive per-job seeds from
 /// the index, e.g. via `rpas_tsmath::rng::child_seed`); then the output
-/// is identical for every thread count.
+/// is identical for every thread count. `RPAS_THREADS` is re-read on
+/// every call.
 ///
 /// # Panics
-/// Propagates a panic from any job (the scope joins all workers first).
+/// Propagates a panic from any job (the pool joins all workers first).
 pub fn par_map_indexed<T, F>(jobs: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    if jobs == 0 {
-        return Vec::new();
-    }
-    let workers = worker_count(jobs);
-    if workers == 1 {
-        return (0..jobs).map(f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs {
-                    break;
-                }
-                let out = f(i);
-                *slots[i].lock().expect("result slot poisoned") = Some(out);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|m| {
-            m.into_inner().expect("result slot poisoned").expect("worker filled every slot")
-        })
-        .collect()
+    WorkerPool::for_jobs(jobs).map_indexed(jobs, f)
 }
 
 /// [`par_map_indexed`] over a slice: `f` is applied to every item, results
@@ -134,54 +469,31 @@ where
 }
 
 /// Apply `f(i, &mut items[i])` to every item in place, fanning the items
-/// over the worker pool.
+/// over an ephemeral worker pool.
 ///
 /// Each worker takes exclusive ownership of one item at a time (the
 /// `&mut` references are disjoint by construction), so `f` may freely
 /// mutate its item; as with [`par_map_indexed`], `f` must depend only on
 /// the index and the item itself for the result to be identical at every
-/// thread count. This is the primitive behind the fleet engine's tick:
-/// each tenant's state advances independently under its own child seed.
+/// thread count. Long-lived callers (the fleet engine) hold a
+/// [`WorkerPool`] instead and call [`WorkerPool::for_each_mut`], paying
+/// the thread-spawn cost once per run instead of once per call.
 ///
 /// # Panics
-/// Propagates a panic from any job (the scope joins all workers first).
+/// Propagates a panic from any job (the pool joins all workers first).
 pub fn par_for_each_mut<T, F>(items: &mut [T], f: F)
 where
     T: Send,
     F: Fn(usize, &mut T) + Sync,
 {
-    let jobs = items.len();
-    if jobs == 0 {
-        return;
-    }
-    let workers = worker_count(jobs);
-    if workers == 1 {
-        for (i, item) in items.iter_mut().enumerate() {
-            f(i, item);
-        }
-        return;
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<&mut T>> = items.iter_mut().map(Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs {
-                    break;
-                }
-                let mut guard = slots[i].lock().expect("item slot poisoned");
-                f(i, &mut guard);
-            });
-        }
-    });
+    WorkerPool::for_jobs(items.len()).for_each_mut(items, f);
 }
 
 /// Render a `catch_unwind` payload as a one-line message. Panic payloads
 /// are almost always `&str` (literal `panic!`) or `String` (formatted
 /// `panic!`); anything else is summarized rather than dropped so the
 /// supervisor can still attribute the failure.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -197,12 +509,11 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// closure panicked.
 ///
 /// A panicking item never disturbs its siblings: the unwind is caught
-/// *inside* the worker loop, before any pool lock is released mid-update,
-/// so the remaining items still run and the pool's own mutexes are never
-/// poisoned. The caller decides what a captured panic means — the fleet
-/// supervisor converts them into quarantine decisions. An item that
-/// panicked may have been left in an arbitrary (but memory-safe) state;
-/// callers must treat it as suspect.
+/// *inside* the worker loop, so the remaining items still run and the
+/// pool's dispatch state is never poisoned. The caller decides what a
+/// captured panic means — the fleet supervisor converts them into
+/// quarantine decisions. An item that panicked may have been left in an
+/// arbitrary (but memory-safe) state; callers must treat it as suspect.
 ///
 /// As with [`par_for_each_mut`], the result is identical at every thread
 /// count provided `f` depends only on the index and the item.
@@ -215,38 +526,21 @@ where
     if jobs == 0 {
         return Vec::new();
     }
-    let run_one = |i: usize, item: &mut T| -> Option<String> {
-        // AssertUnwindSafe: the item is handed back to the caller marked
-        // as panicked, never silently reused, so broken invariants inside
-        // it cannot leak into healthy state.
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, item)))
-            .err()
-            .map(panic_message)
-    };
-    let workers = worker_count(jobs);
-    if workers == 1 {
-        return items.iter_mut().enumerate().map(|(i, item)| run_one(i, item)).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<(&mut T, Option<String>)>> =
-        items.iter_mut().map(|item| Mutex::new((item, None))).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs {
-                    break;
-                }
-                let mut guard = slots[i].lock().expect("item slot poisoned");
-                let (item, result) = &mut *guard;
-                *result = run_one(i, item);
-            });
+    let mut failures: Vec<Option<String>> = Vec::with_capacity(jobs);
+    failures.resize_with(jobs, || None);
+    let base = SendPtr(failures.as_mut_ptr());
+    let pool = WorkerPool::for_jobs(jobs);
+    pool.for_each_mut(items, |i, item| {
+        let outcome = catch_unwind(AssertUnwindSafe(|| f(i, item))).err().map(panic_message);
+        if outcome.is_some() {
+            // SAFETY: one worker owns index `i`; the failures vector
+            // outlives the pool call.
+            unsafe {
+                *base.get().add(i) = outcome;
+            }
         }
     });
-    slots
-        .into_iter()
-        .map(|m| m.into_inner().expect("item slot poisoned").1)
-        .collect()
+    failures
 }
 
 #[cfg(test)]
@@ -288,6 +582,78 @@ mod tests {
     fn worker_count_respects_job_cap() {
         assert_eq!(worker_count(1), 1);
         assert!(worker_count(usize::MAX) >= 1);
+    }
+
+    #[test]
+    fn pool_results_are_worker_count_invariant() {
+        // The WorkerPool analogue of the RPAS_THREADS contract: the same
+        // seeded jobs must produce byte-identical results whether the
+        // pool is sequential or heavily over-subscribed.
+        let job = |i: usize| {
+            let mut r = rpas_tsmath::rng::seeded(rpas_tsmath::rng::child_seed(7, i as u64));
+            (0..50).map(|_| rpas_tsmath::rng::uniform(&mut r)).sum::<f64>()
+        };
+        let reference: Vec<u64> = (0..33).map(|i| job(i).to_bits()).collect();
+        for workers in [1usize, 2, 4, 8] {
+            let pool = WorkerPool::new(workers);
+            let got: Vec<u64> =
+                pool.map_indexed(33, job).into_iter().map(f64::to_bits).collect();
+            assert_eq!(got, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_submissions() {
+        // One pool, many fan-outs — the fleet tick pattern. Every
+        // submission must see all indices exactly once.
+        let pool = WorkerPool::new(4);
+        let mut items: Vec<usize> = vec![0; 64];
+        for round in 1..=10usize {
+            pool.for_each_mut(&mut items, |_, v| *v += 1);
+            assert!(items.iter().all(|&v| v == round), "round {round}: {items:?}");
+        }
+    }
+
+    #[test]
+    fn pool_zip_variant_advances_both_slices() {
+        let pool = WorkerPool::new(3);
+        let mut a: Vec<usize> = (0..40).collect();
+        let mut b: Vec<usize> = vec![0; 40];
+        pool.for_each_mut2(&mut a, &mut b, |i, ai, bi| {
+            *ai += 1;
+            *bi = i * 2;
+        });
+        assert_eq!(a, (1..41).collect::<Vec<_>>());
+        assert_eq!(b, (0..40).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn pool_zip_variant_rejects_length_mismatch() {
+        let pool = WorkerPool::new(1);
+        let mut a = [1usize; 3];
+        let mut b = [1usize; 4];
+        pool.for_each_mut2(&mut a, &mut b, |_, _, _| {});
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_submission() {
+        // A panic propagates to the submitter, but the pool stays usable
+        // for the next submission (workers re-synchronize per epoch).
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let pool = WorkerPool::new(4);
+        let thrown = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(16, |i| {
+                if i == 11 {
+                    panic!("boom");
+                }
+            });
+        }));
+        std::panic::set_hook(hook);
+        assert!(thrown.is_err(), "panic must propagate");
+        let out = pool.map_indexed(8, |i| i + 1);
+        assert_eq!(out, (1..9).collect::<Vec<_>>());
     }
 
     #[test]
@@ -333,6 +699,29 @@ mod tests {
         }
         let mut empty: Vec<usize> = Vec::new();
         assert!(par_for_each_mut_isolated(&mut empty, |_, _| unreachable!()).is_empty());
+    }
+
+    #[test]
+    fn isolated_summarizes_non_string_panic_payloads() {
+        // `panic_any` with an arbitrary type must not lose the failure:
+        // it is reported with the fixed marker instead of a message.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut items: Vec<usize> = (0..4).collect();
+        let failures = par_for_each_mut_isolated(&mut items, |i, v| {
+            if i == 2 {
+                std::panic::panic_any(42_i32);
+            }
+            *v += 10;
+        });
+        std::panic::set_hook(hook);
+        assert_eq!(failures[2].as_deref(), Some("<non-string panic payload>"));
+        assert_eq!(items[1], 11, "siblings completed");
+        assert_eq!(items[2], 2, "panicked item left as-is");
+        // The pure helper agrees for every payload shape.
+        assert_eq!(panic_message(Box::new(3.5_f64)), "<non-string panic payload>");
+        assert_eq!(panic_message(Box::new("literal")), "literal");
+        assert_eq!(panic_message(Box::new(String::from("owned"))), "owned");
     }
 
     #[test]

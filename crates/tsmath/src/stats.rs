@@ -125,6 +125,174 @@ pub fn undifference(forecast_diffs: &[f64], heads: &[f64]) -> Vec<f64> {
     v
 }
 
+/// Running first/second moments (count, sum, sum of squares): O(1)
+/// append, O(1) mean/variance readout.
+///
+/// The variance uses the one-pass identity
+/// `Var = (Σx² − (Σx)²/n) / (n − 1)`, clamped at zero (the identity can
+/// go slightly negative under rounding). This is the formula an
+/// *incremental* estimator can maintain exactly, so batch fits that want
+/// bit-equality with an observation-by-observation update (the
+/// seasonal-naive sigma) fold their samples through this type instead of
+/// the two-pass [`variance`]. Pushing the same samples in the same order
+/// always yields bit-identical moments — the accumulation order *is* the
+/// state.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningMoments {
+    n: u64,
+    sum: f64,
+    sumsq: f64,
+}
+
+impl RunningMoments {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold a slice left-to-right (the canonical batch order).
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut m = Self::default();
+        for &x in xs {
+            m.push(x);
+        }
+        m
+    }
+
+    /// Append one sample. O(1).
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        self.sumsq += x * x;
+    }
+
+    /// Samples accumulated.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean; `NaN` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            return f64::NAN;
+        }
+        self.sum / self.n as f64
+    }
+
+    /// Unbiased sample variance (denominator `n − 1`), clamped at zero;
+    /// `NaN` when `count() < 2`.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            return f64::NAN;
+        }
+        let n = self.n as f64;
+        let var = (self.sumsq - self.sum * self.sum / n) / (n - 1.0);
+        var.max(0.0)
+    }
+
+    /// Sample standard deviation (square root of [`RunningMoments::variance`]).
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// [`RunningMoments`] over a bounded sliding window.
+///
+/// Appending into a non-full window is O(1) (a plain
+/// [`RunningMoments::push`]). Once the window is full, each push evicts
+/// the oldest sample and pays an **exact recompute** of the moments over
+/// the retained suffix (O(window)) instead of the O(1)
+/// subtract-the-evicted update — floating-point addition is
+/// order-sensitive, so a subtract-based update would drift from the
+/// batch fold, and this workspace pins windowed statistics bit-for-bit
+/// against their batch recomputation (`tests/properties.rs`). Callers
+/// with growing histories (the seasonal-naive residual stream) use
+/// [`RunningMoments`] directly and never pay the eviction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RollingMoments {
+    /// Ring buffer of the retained window; `head` indexes the oldest.
+    buf: Vec<f64>,
+    head: usize,
+    len: usize,
+    m: RunningMoments,
+}
+
+impl RollingMoments {
+    /// Empty window of the given capacity.
+    ///
+    /// # Panics
+    /// Panics when `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "rolling window must be positive");
+        Self { buf: vec![0.0; window], head: 0, len: 0, m: RunningMoments::default() }
+    }
+
+    /// Window capacity.
+    pub fn window(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Samples currently retained (`<= window()`).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True before the first push.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True once the window has filled (every further push evicts).
+    pub fn is_full(&self) -> bool {
+        self.len == self.buf.len()
+    }
+
+    /// Append a sample, evicting the oldest when full. The retained
+    /// moments are always bit-identical to
+    /// `RunningMoments::from_slice(&current_window)` folded oldest to
+    /// newest.
+    pub fn push(&mut self, x: f64) {
+        let window = self.buf.len();
+        if self.len < window {
+            let tail = (self.head + self.len) % window;
+            self.buf[tail] = x;
+            self.len += 1;
+            self.m.push(x);
+            return;
+        }
+        // Eviction: overwrite the oldest slot, advance the head, and
+        // refold the retained window in chronological order.
+        self.buf[self.head] = x;
+        self.head = (self.head + 1) % window;
+        self.m = RunningMoments::default();
+        for k in 0..window {
+            self.m.push(self.buf[(self.head + k) % window]);
+        }
+    }
+
+    /// The retained samples, oldest first (allocates; diagnostic use).
+    pub fn to_vec(&self) -> Vec<f64> {
+        (0..self.len).map(|k| self.buf[(self.head + k) % self.buf.len()]).collect()
+    }
+
+    /// Mean of the retained window; `NaN` when empty.
+    pub fn mean(&self) -> f64 {
+        self.m.mean()
+    }
+
+    /// Unbiased sample variance of the retained window; `NaN` when fewer
+    /// than two samples are retained.
+    pub fn variance(&self) -> f64 {
+        self.m.variance()
+    }
+
+    /// Sample standard deviation of the retained window.
+    pub fn std_dev(&self) -> f64 {
+        self.m.std_dev()
+    }
+}
+
 /// Standardisation parameters learned from training data, applied to both
 /// train and test series (forecasting models train on z-scored data).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -249,6 +417,47 @@ mod tests {
                 assert!((r - x).abs() < 1e-9, "d={d} rec={rec:?}");
             }
         }
+    }
+
+    #[test]
+    fn running_moments_match_batch_fold_bitwise() {
+        let xs: Vec<f64> = (0..57).map(|i| ((i * 37 % 101) as f64).sin() * 40.0 + 55.0).collect();
+        let mut inc = RunningMoments::new();
+        for &x in &xs {
+            inc.push(x);
+        }
+        let batch = RunningMoments::from_slice(&xs);
+        assert_eq!(inc, batch);
+        // Near the two-pass answer (one-pass loses a little precision but
+        // must stay a faithful variance estimate).
+        assert!((inc.variance() - variance(&xs)).abs() < 1e-9 * variance(&xs).max(1.0));
+        assert!((inc.mean() - mean(&xs)).abs() < 1e-12);
+        assert!(RunningMoments::new().mean().is_nan());
+        assert!(RunningMoments::from_slice(&[1.0]).variance().is_nan());
+    }
+
+    #[test]
+    fn rolling_moments_track_window_exactly() {
+        let xs: Vec<f64> = (0..40).map(|i| (i as f64 * 0.7).cos() * 10.0).collect();
+        let mut roll = RollingMoments::new(8);
+        for (t, &x) in xs.iter().enumerate() {
+            roll.push(x);
+            let lo = (t + 1).saturating_sub(8);
+            let win = &xs[lo..=t];
+            assert_eq!(roll.len(), win.len());
+            assert_eq!(roll.to_vec(), win, "t={t}");
+            // Bit-identical to the batch fold over the retained window.
+            let batch = RunningMoments::from_slice(win);
+            assert_eq!(roll.variance().to_bits(), batch.variance().to_bits(), "t={t}");
+            assert_eq!(roll.mean().to_bits(), batch.mean().to_bits(), "t={t}");
+        }
+        assert!(roll.is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "rolling window must be positive")]
+    fn rolling_moments_reject_zero_window() {
+        let _ = RollingMoments::new(0);
     }
 
     #[test]

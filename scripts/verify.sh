@@ -218,6 +218,33 @@ grep -q "— OK" "$trace_tmp/overhead.txt" || {
 }
 echo "ok: telemetry dark path within the pinned budget"
 
+echo "== fleet perf/alloc budget (quick bench vs fleet-budget.json) =="
+# 5. The supervised fleet hot path must stay within the pinned budget
+#    (fleet-budget.json): supervised overhead fraction and steady-state
+#    allocations per supervised tick. The bench exits 1 on breach or on
+#    a missing/malformed budget file, so a deleted budget cannot pass.
+#    The committed budget is copied next to the scratch results so the
+#    committed full-profile BENCH_fleet.json is left untouched.
+[[ -f fleet-budget.json ]] || {
+    echo "ERROR: fleet-budget.json missing — freeze one with RPAS_WRITE_BUDGET=1" >&2
+    exit 1
+}
+cp fleet-budget.json "$trace_tmp/fleet-budget.json"
+RPAS_LOG=off RPAS_PROFILE=quick RPAS_BENCH_SAMPLES=3 RPAS_RESULTS_DIR="$trace_tmp" \
+    cargo run -q --release --offline -p rpas-bench --bin fleet \
+    > "$trace_tmp/fleet_bench.txt"
+grep -q "fleet budget: .* — OK.* — OK" "$trace_tmp/fleet_bench.txt" || {
+    cat "$trace_tmp/fleet_bench.txt" >&2
+    echo "ERROR: fleet bench did not confirm the pinned budget" >&2
+    exit 1
+}
+grep -q "steady 0 over" "$trace_tmp/fleet_bench.txt" || {
+    cat "$trace_tmp/fleet_bench.txt" >&2
+    echo "ERROR: supervised steady-state ticks allocated (expected zero)" >&2
+    exit 1
+}
+echo "ok: fleet hot path within the pinned perf/alloc budget"
+
 if [[ "${RPAS_VERIFY_PARALLEL:-0}" == "1" ]]; then
     echo "== table1 thread-count invariance =="
     tmp="$(mktemp -d)"

@@ -7,7 +7,7 @@
 use std::collections::BTreeSet;
 
 /// Every rule identifier, in the order they are documented.
-pub const RULE_IDS: &[&str] = &["D1", "D2", "O1", "P1", "F1", "LINT"];
+pub const RULE_IDS: &[&str] = &["D1", "D2", "O1", "P1", "F1", "E1", "S1", "N1", "LINT"];
 
 /// One-line description per rule, for `--rules` and diagnostics.
 pub fn rule_summary(rule: &str) -> &'static str {
@@ -17,6 +17,9 @@ pub fn rule_summary(rule: &str) -> &'static str {
         "O1" => "stdout/stderr write outside crates/obs and the CLI output layer",
         "P1" => "panic-site budget (unwrap/expect/panic!/slice-index) exceeded vs lint-baseline.json",
         "F1" => "float == / != comparison in a numeric crate",
+        "E1" => "obs event name not in events-registry.json (or registry entry with no emit site)",
+        "S1" => "snapshot/restore parity: field read in snapshot not covered by any restore method",
+        "N1" => "iteration over HashMap/HashSet hash order in non-test code without a sort",
         "LINT" => "malformed rpas-lint suppression directive",
         _ => "unknown rule",
     }
@@ -41,6 +44,11 @@ pub struct Config {
     /// F1: `crates/<dir>/` directory names whose code (tests included) may
     /// not compare floats with `==`/`!=`.
     pub f1_crate_dirs: Vec<String>,
+    /// E1: path prefixes exempt from emit-site extraction — the emit
+    /// machinery itself, whose span/name parameters are pass-through.
+    pub e1_exempt_prefixes: Vec<String>,
+    /// E1: workspace-root-relative path of the checked-in event registry.
+    pub events_registry_file: String,
 }
 
 impl Default for Config {
@@ -64,6 +72,8 @@ impl Default for Config {
                 .iter()
                 .map(|s| s.to_string())
                 .collect(),
+            e1_exempt_prefixes: vec!["crates/obs/".into()],
+            events_registry_file: "events-registry.json".into(),
         }
     }
 }

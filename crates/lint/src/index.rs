@@ -1,0 +1,308 @@
+//! Cross-crate workspace index: every file's tokens, parsed item tree,
+//! and test regions in one place, plus the two extraction passes the
+//! semantic rules are built on —
+//!
+//! * **obs emit sites** ([`emit_sites`]): each call shaped like the
+//!   `rpas_obs::Obs` emit surface (`.info/.warn/.error/.debug(span,
+//!   name, build)`, `.emit(Level, span, name, build)`, `.counter` /
+//!   `.gauge(span, metric, v)`, `.span(span, name)`), with the literal
+//!   or dynamic status of its span and event-name arguments;
+//! * **per-method field/call extraction** ([`fn_info`]): which
+//!   `self.field` names a method body touches and which `self.method()`
+//!   calls it makes, for the S1 snapshot/restore parity closure.
+
+use crate::lexer::{Lexed, TokKind, Token};
+use crate::parse::{self, Item};
+use crate::rules::{self, LineRange};
+use std::collections::BTreeSet;
+
+/// One indexed file: tokens, item tree, and test scoping.
+#[derive(Debug)]
+pub struct IndexedFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// The file's lexer output (tokens + comments).
+    pub lexed: Lexed,
+    /// Parsed item skeleton.
+    pub items: Vec<Item>,
+    /// `#[cfg(test)]` line ranges.
+    pub test_lines: Vec<LineRange>,
+}
+
+impl IndexedFile {
+    /// Is `line` test code (by path or by `#[cfg(test)]` region)?
+    pub fn in_test(&self, line: u32) -> bool {
+        rules::is_test_path(&self.rel) || self.test_lines.iter().any(|r| r.contains(line))
+    }
+}
+
+/// The whole-workspace index the semantic rules run over.
+#[derive(Debug, Default)]
+pub struct WorkspaceIndex {
+    /// All indexed Rust files, in walk (sorted-path) order.
+    pub files: Vec<IndexedFile>,
+}
+
+impl WorkspaceIndex {
+    /// Parse and add one file's lexer output.
+    pub fn add_file(&mut self, rel: &str, lexed: Lexed) {
+        let items = parse::parse_items(&lexed.tokens);
+        let test_lines = rules::test_regions(&lexed.tokens);
+        self.files.push(IndexedFile { rel: rel.to_string(), lexed, items, test_lines });
+    }
+}
+
+/// One statically-extracted obs emit site. A `None` span or event means
+/// that argument is not a plain string literal (dynamic): the E1 rule
+/// then falls back to prefix/suffix matching against the registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmitSite {
+    /// File the call lives in.
+    pub rel: String,
+    /// 1-based line of the method name token.
+    pub line: u32,
+    /// The emit-surface method called (`info`, `emit`, `counter`, …).
+    pub method: String,
+    /// Literal span argument, unquoted; `None` when dynamic.
+    pub span: Option<String>,
+    /// Literal event name, unquoted; `None` when dynamic. For
+    /// `counter`/`gauge`/`span` calls the event name is implied by the
+    /// method (`counter`, `gauge`, `span_close`) and always literal.
+    pub event: Option<String>,
+}
+
+impl EmitSite {
+    /// The full `span/event` registry name, when both sides are literal.
+    pub fn full_name(&self) -> Option<String> {
+        match (&self.span, &self.event) {
+            (Some(s), Some(e)) => Some(format!("{s}/{e}")),
+            _ => None,
+        }
+    }
+}
+
+/// Extract every obs emit site in `file`, skipping test code. The
+/// patterns are shape-based (method name + argument count + a `Level`
+/// guard for `.emit`), which is unambiguous against the rest of the
+/// workspace: no other API shares these shapes with string-literal
+/// span/name arguments.
+pub fn emit_sites(file: &IndexedFile) -> Vec<EmitSite> {
+    let toks = &file.lexed.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_punct(".") {
+            continue;
+        }
+        let Some(m) = toks.get(i + 1) else { continue };
+        if m.kind != TokKind::Ident || !toks.get(i + 2).is_some_and(|t| t.is_punct("(")) {
+            continue;
+        }
+        if file.in_test(m.line) {
+            continue;
+        }
+        let Some(args) = call_args(toks, i + 2) else { continue };
+        let lit = |k: usize| args.get(k).and_then(|&(s, e)| literal_str(toks, s, e));
+        let has_level = |k: usize| {
+            args.get(k)
+                .is_some_and(|&(s, e)| toks[s..e].iter().any(|t| t.is_ident("Level")))
+        };
+        let site = match m.text.as_str() {
+            "info" | "warn" | "error" | "debug" if args.len() == 3 => {
+                let (span, event) = (lit(0), lit(1));
+                // A fully-dynamic 3-arg call is far more likely to be an
+                // unrelated method than an uncheckable emit — skip it.
+                if span.is_none() && event.is_none() {
+                    continue;
+                }
+                (span, event)
+            }
+            "emit" if args.len() == 4 && has_level(0) => (lit(1), lit(2)),
+            "counter" | "gauge" if args.len() == 3 => (lit(0), Some(m.text.clone())),
+            "span" if args.len() == 2 => {
+                let span = lit(0);
+                if span.is_none() && lit(1).is_none() {
+                    continue;
+                }
+                (span, Some("span_close".to_string()))
+            }
+            _ => continue,
+        };
+        out.push(EmitSite {
+            rel: file.rel.clone(),
+            line: m.line,
+            method: m.text.clone(),
+            span: site.0,
+            event: site.1,
+        });
+    }
+    out
+}
+
+/// With `toks[open]` being the `(` of a call, split the argument list at
+/// top level into token ranges (exclusive end). Returns `None` when the
+/// call is unterminated.
+fn call_args(toks: &[Token], open: usize) -> Option<Vec<(usize, usize)>> {
+    let mut args = Vec::new();
+    let mut depth = 0i32;
+    let mut start = open + 1;
+    let mut j = open;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        if j > start {
+                            args.push((start, j));
+                        }
+                        return Some(args);
+                    }
+                }
+                "," if depth == 1 => {
+                    args.push((start, j));
+                    start = j + 1;
+                }
+                // `|a, b|` closure parameter commas would split at depth
+                // 1; obs build closures take one argument, and any call
+                // with a multi-param closure just fails the argc guard.
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// If the argument range is exactly one plain string literal, return its
+/// unquoted text. Raw/byte strings and anything composite count as
+/// dynamic.
+fn literal_str(toks: &[Token], start: usize, end: usize) -> Option<String> {
+    if end != start + 1 {
+        return None;
+    }
+    let t = &toks[start];
+    if t.kind != TokKind::Str {
+        return None;
+    }
+    let inner = t.text.strip_prefix('"')?.strip_suffix('"')?;
+    // Event names never need escapes; a literal that uses them is out of
+    // the naming contract and treated as dynamic.
+    if inner.contains('\\') {
+        return None;
+    }
+    Some(inner.to_string())
+}
+
+/// What one method body touches on `self`.
+#[derive(Debug, Default, Clone)]
+pub struct FnInfo {
+    /// `self.field` accesses (reads or writes) that are not calls.
+    pub fields: BTreeSet<String>,
+    /// `self.method(…)` calls.
+    pub calls: BTreeSet<String>,
+}
+
+/// Extract [`FnInfo`] from a method body token range.
+pub fn fn_info(toks: &[Token], body: (usize, usize)) -> FnInfo {
+    let mut info = FnInfo::default();
+    let (start, end) = body;
+    let mut i = start;
+    while i + 2 < end {
+        if toks[i].is_ident("self") && toks[i + 1].is_punct(".") {
+            let x = &toks[i + 2];
+            if x.kind == TokKind::Ident {
+                if toks.get(i + 3).is_some_and(|t| t.is_punct("(")) {
+                    info.calls.insert(x.text.clone());
+                } else {
+                    info.fields.insert(x.text.clone());
+                }
+            }
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    info
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::ItemKind;
+
+    fn index_one(rel: &str, src: &str) -> IndexedFile {
+        let mut idx = WorkspaceIndex::default();
+        idx.add_file(rel, lex(src));
+        idx.files.pop().expect("one file")
+    }
+
+    fn sites(src: &str) -> Vec<(String, Option<String>, Option<String>)> {
+        emit_sites(&index_one("crates/core/src/x.rs", src))
+            .into_iter()
+            .map(|s| (s.method, s.span, s.event))
+            .collect()
+    }
+
+    #[test]
+    fn level_wrappers_extract_span_and_event() {
+        let got = sites("fn f(obs: &Obs) { obs.info(\"plan\", \"decision\", |f| f.num(\"t\", 1.0)); }");
+        assert_eq!(
+            got,
+            vec![("info".into(), Some("plan".into()), Some("decision".into()))]
+        );
+    }
+
+    #[test]
+    fn emit_requires_level_guard_and_four_args() {
+        let got = sites("fn f() { obs.emit(Level::Warn, \"sim\", \"step\", |f| f.raw(\"\")); h.emit(obs, \"telemetry\", name); }");
+        // The 3-arg Histogram::emit call must not match the Obs::emit shape.
+        assert_eq!(got, vec![("emit".into(), Some("sim".into()), Some("step".into()))]);
+    }
+
+    #[test]
+    fn counter_gauge_and_span_imply_event_names() {
+        let got = sites(
+            "fn f() { obs.counter(\"fleet\", \"ticks\", 1.0); obs.gauge(\"slo\", m, v); let _t = obs.span(\"backtest\", \"fit\"); tel.counter(\"supervisor.panics\"); }",
+        );
+        assert_eq!(
+            got,
+            vec![
+                ("counter".into(), Some("fleet".into()), Some("counter".into())),
+                ("gauge".into(), Some("slo".into()), Some("gauge".into())),
+                ("span".into(), Some("backtest".into()), Some("span_close".into())),
+            ]
+        );
+    }
+
+    #[test]
+    fn dynamic_args_become_none_sides() {
+        let got = sites("fn f(s: &str) { obs.emit(Level::Info, s, \"histogram\", |f| f.raw(\"\")); }");
+        assert_eq!(got, vec![("emit".into(), None, Some("histogram".into()))]);
+    }
+
+    #[test]
+    fn test_code_and_unrelated_calls_are_skipped() {
+        let src = "fn f(x: &T) { x.update(a, b, c); }\n#[cfg(test)]\nmod tests { fn t() { obs.info(\"x\", \"y\", |f| f.raw(\"\")); } }\n";
+        assert!(sites(src).is_empty());
+        let tf = index_one("crates/core/tests/e2e.rs", "fn t() { obs.info(\"x\", \"y\", |f| f.raw(\"\")); }");
+        assert!(emit_sites(&tf).is_empty());
+    }
+
+    #[test]
+    fn fn_info_separates_fields_from_calls() {
+        let f = index_one(
+            "crates/core/src/x.rs",
+            "impl S {\n  fn snap(&self) -> u64 { self.a + self.b.len() as u64 + self.helper() }\n}\n",
+        );
+        let imp = &f.items[0];
+        assert_eq!(imp.kind, ItemKind::Impl);
+        let body = imp.children[0].body.expect("body");
+        let info = fn_info(&f.lexed.tokens, body);
+        let fields: Vec<_> = info.fields.iter().cloned().collect();
+        assert_eq!(fields, vec!["a", "b"]);
+        assert_eq!(info.calls.iter().cloned().collect::<Vec<_>>(), vec!["helper"]);
+    }
+}

@@ -11,20 +11,35 @@
 //! | `P1` | frozen panic-site budget per library crate (`unwrap`/`expect`/`panic!`/slice indexing) vs `lint-baseline.json` |
 //! | `F1` | no float `==`/`!=` in the numeric crates |
 //!
+//! Plus the cross-file semantic rules (DESIGN.md §14), run over a
+//! whole-workspace item/symbol index ([`parse`], [`index`]):
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `E1` | every obs `span/event` emit is named in `events-registry.json`, and every non-dynamic registry entry has an emit site ([`registry`]) |
+//! | `S1` | snapshot/restore parity — fields a `snapshot*`/`dump` method reads are covered by a `restore*` method, transitively through `self` calls |
+//! | `N1` | no iteration over `HashMap`/`HashSet` in non-test code unless sorted nearby or justified |
+//!
 //! Built on a hand-written lexer ([`lexer`]) so string literals and
 //! comments can never false-positive, with mandatory-reason inline
 //! suppressions ([`suppress`]). The `lint` binary (root `src/bin/lint.rs`)
 //! wires this into `scripts/verify.sh`; `tests/selfcheck.rs` keeps the
-//! workspace itself lint-clean under plain `cargo test`.
+//! workspace itself lint-clean under plain `cargo test` and re-derives
+//! both committed surfaces (`lint-baseline.json`, `events-registry.json`)
+//! byte-for-byte.
 
 #![warn(missing_docs)]
 
 pub mod baseline;
 pub mod config;
+pub mod index;
 pub mod lexer;
 pub mod manifest;
+pub mod parse;
+pub mod registry;
 pub mod report;
 pub mod rules;
+pub mod semantic;
 pub mod suppress;
 pub mod walk;
 
@@ -47,6 +62,9 @@ pub struct RunResult {
     /// `file:line` anchors of every P1 site, per crate (for actionable
     /// budget-exceeded messages).
     pub p1_sites: BTreeMap<String, Vec<String>>,
+    /// Every statically-extracted obs emit site (E1 exempt prefixes
+    /// excluded), for `--write-events` registry regeneration.
+    pub emit_sites: Vec<index::EmitSite>,
     /// Number of files analysed.
     pub files_scanned: usize,
 }
@@ -76,9 +94,13 @@ pub fn run_workspace(root: &Path, cfg: &Config) -> io::Result<RunResult> {
         res.files_scanned += 1;
     }
 
+    // Second pass: lex each Rust file exactly once — the token stream
+    // feeds both the lexical rules and the semantic index.
+    let mut idx = index::WorkspaceIndex::default();
     for e in entries.iter().filter(|e| e.kind == walk::FileKind::Rust) {
         let src = fs::read_to_string(&e.abs)?;
-        let fa = rules::analyze_rust_file(&e.rel, &src, cfg);
+        let lexed = lexer::lex(&src);
+        let fa = rules::analyze_lexed(&e.rel, &lexed, cfg);
         res.diagnostics.extend(fa.diagnostics);
         if !fa.p1_sites.is_empty() {
             let krate = p1_crate(&e.rel, &crate_names, &root_package);
@@ -89,8 +111,15 @@ pub fn run_workspace(root: &Path, cfg: &Config) -> io::Result<RunResult> {
                 anchors.push(format!("{}:{}", e.rel, site.line));
             }
         }
+        idx.add_file(&e.rel, lexed);
         res.files_scanned += 1;
     }
+
+    // Third pass: the cross-file semantic rules over the full index.
+    let reg_state = load_registry(root, cfg);
+    let sem = semantic::run(&idx, &reg_state, cfg);
+    res.diagnostics.extend(sem.diagnostics);
+    res.emit_sites = sem.emit_sites;
 
     // Crates whose library code exists but has zero sites still belong in
     // the census, so a budget line persists for them.
@@ -102,6 +131,19 @@ pub fn run_workspace(root: &Path, cfg: &Config) -> io::Result<RunResult> {
 
     report::sort(&mut res.diagnostics);
     Ok(res)
+}
+
+/// Read and parse the events registry named by the config, classifying
+/// the outcome for the E1 rule.
+pub fn load_registry(root: &Path, cfg: &Config) -> semantic::RegistryState {
+    let path = root.join(&cfg.events_registry_file);
+    match fs::read_to_string(&path) {
+        Ok(src) => match registry::parse(&src) {
+            Ok(reg) => semantic::RegistryState::Loaded(reg),
+            Err(e) => semantic::RegistryState::Malformed(e),
+        },
+        Err(_) => semantic::RegistryState::Missing,
+    }
 }
 
 fn bump(c: &mut P1Counts, cat: P1Cat) {

@@ -1,0 +1,464 @@
+//! A lightweight syntactic layer on top of [`crate::lexer`]: a
+//! brace-matching item parser producing modules, functions, structs,
+//! enums, traits, and impl blocks with line spans and token ranges.
+//!
+//! This is deliberately *not* a Rust grammar — it recognises exactly the
+//! item skeleton the semantic rules in [`crate::semantic`] need:
+//!
+//! * which tokens belong to which `fn` body (so field reads and call
+//!   sites can be attributed to a method),
+//! * which methods belong to which `impl` block and what type that block
+//!   is for (so snapshot/restore pairs can be matched up),
+//! * struct field names and whether their declared type mentions an
+//!   unordered hash collection (for the N1 rule).
+//!
+//! Everything it cannot classify it skips over with balanced-delimiter
+//! matching, so macro-heavy or unusual code degrades to "no items found
+//! here" rather than misattribution.
+
+use crate::lexer::{Token, TokKind};
+
+/// What kind of item a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `mod name { … }` (or `mod name;`).
+    Mod,
+    /// `fn name(…) { … }` (or a bodiless trait-method declaration).
+    Fn,
+    /// `struct Name { … }` / tuple / unit struct.
+    Struct,
+    /// `enum Name { … }`.
+    Enum,
+    /// `trait Name { … }`.
+    Trait,
+    /// `impl Type { … }` or `impl Trait for Type { … }`.
+    Impl,
+}
+
+/// One struct field: name plus whether its declared type mentions an
+/// unordered hash collection (`HashMap`/`HashSet`).
+#[derive(Debug, Clone)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// The declared type tokens mention `HashMap` or `HashSet`.
+    pub hash_typed: bool,
+}
+
+/// One parsed item with its span and children.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// Item kind.
+    pub kind: ItemKind,
+    /// Item name. For [`ItemKind::Impl`] this is the *self type* (the
+    /// last path segment at generic depth zero, so `impl Trait for
+    /// foo::Bar<T>` yields `Bar`).
+    pub name: String,
+    /// For `impl Trait for Type`, the trait's last path segment.
+    pub trait_name: Option<String>,
+    /// Token index of the item's keyword (`fn`, `struct`, …).
+    pub tok: usize,
+    /// 1-based line the item's keyword is on.
+    pub line: u32,
+    /// 1-based line of the closing brace (or terminating `;`).
+    pub end_line: u32,
+    /// Token index range of the item's body *interior* (between the
+    /// braces, exclusive). `None` for bodiless items (`mod x;`, trait
+    /// method declarations, unit structs).
+    pub body: Option<(usize, usize)>,
+    /// Nested items (functions inside impls/traits, items inside mods).
+    pub children: Vec<Item>,
+    /// Struct fields ([`ItemKind::Struct`] with a record body only).
+    pub fields: Vec<Field>,
+}
+
+/// Parse the item skeleton of a whole file's token stream.
+pub fn parse_items(toks: &[Token]) -> Vec<Item> {
+    parse_range(toks, 0, toks.len(), true)
+}
+
+/// Item-introducing keywords recognised at item level.
+fn item_keyword(t: &Token) -> Option<ItemKind> {
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    match t.text.as_str() {
+        "mod" => Some(ItemKind::Mod),
+        "fn" => Some(ItemKind::Fn),
+        "struct" => Some(ItemKind::Struct),
+        "enum" => Some(ItemKind::Enum),
+        "trait" => Some(ItemKind::Trait),
+        "impl" => Some(ItemKind::Impl),
+        _ => None,
+    }
+}
+
+/// Parse items in `toks[start..end]`. `recurse` controls whether
+/// container bodies (mod/impl/trait) are descended into; `fn` bodies are
+/// never descended into (an `impl Trait` return type or a nested helper
+/// fn must not be misread as a sibling item).
+fn parse_range(toks: &[Token], start: usize, end: usize, recurse: bool) -> Vec<Item> {
+    let mut out = Vec::new();
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        if let Some(kind) = item_keyword(t) {
+            if let Some((item, next)) = parse_item(toks, i, end, kind, recurse) {
+                out.push(item);
+                i = next;
+                continue;
+            }
+        }
+        // Skip balanced delimiter groups wholesale so tokens inside
+        // const initialisers, match arms, etc. are never scanned for
+        // item keywords at this level.
+        match t.text.as_str() {
+            "{" | "(" | "[" if t.kind == TokKind::Punct => {
+                i = skip_group(toks, i, end);
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// With `toks[i]` opening a delimiter group, return the index just past
+/// its matching closer (clamped to `end`).
+fn skip_group(toks: &[Token], i: usize, end: usize) -> usize {
+    let (open, close) = match toks[i].text.as_str() {
+        "{" => ("{", "}"),
+        "(" => ("(", ")"),
+        _ => ("[", "]"),
+    };
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < end {
+        if toks[j].is_punct(open) {
+            depth += 1;
+        } else if toks[j].is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    end
+}
+
+/// Find the index of the `{` opening the item body, or the terminating
+/// `;`, scanning from `i` at top delimiter level. Returns `(index,
+/// is_body)`.
+fn find_body_or_semi(toks: &[Token], i: usize, end: usize) -> Option<(usize, bool)> {
+    let mut j = i;
+    while j < end {
+        let t = &toks[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => return Some((j, true)),
+                ";" => return Some((j, false)),
+                "(" | "[" => {
+                    j = skip_group(toks, j, end);
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Parse one item whose keyword sits at `toks[i]`. Returns the item and
+/// the index to continue scanning from, or `None` when the shape is not
+/// actually an item (e.g. `impl` used as an `impl Trait` type, which
+/// never occurs at item level anyway).
+fn parse_item(
+    toks: &[Token],
+    i: usize,
+    end: usize,
+    kind: ItemKind,
+    recurse: bool,
+) -> Option<(Item, usize)> {
+    let line = toks[i].line;
+    let (name, trait_name) = match kind {
+        ItemKind::Impl => {
+            let (ty, tr) = impl_names(toks, i + 1, end)?;
+            (ty, tr)
+        }
+        _ => {
+            // The first identifier after the keyword is the name. `fn`
+            // allows none intervening; mod/struct/enum/trait likewise.
+            let name_tok = toks.get(i + 1)?;
+            if name_tok.kind != TokKind::Ident {
+                return None;
+            }
+            (name_tok.text.clone(), None)
+        }
+    };
+
+    let (stop, has_body) = find_body_or_semi(toks, i + 1, end)?;
+    if !has_body {
+        let item = Item {
+            kind,
+            name,
+            trait_name,
+            tok: i,
+            line,
+            end_line: toks[stop].line,
+            body: None,
+            children: Vec::new(),
+            fields: Vec::new(),
+        };
+        return Some((item, stop + 1));
+    }
+
+    let after = skip_group(toks, stop, end);
+    let body_close = after.saturating_sub(1);
+    let body = (stop + 1, body_close);
+    let children = if recurse && matches!(kind, ItemKind::Mod | ItemKind::Impl | ItemKind::Trait) {
+        parse_range(toks, body.0, body.1, recurse)
+    } else {
+        Vec::new()
+    };
+    let fields = if kind == ItemKind::Struct {
+        struct_fields(toks, body.0, body.1)
+    } else {
+        Vec::new()
+    };
+    let end_line = toks.get(body_close).map_or(line, |t| t.line);
+    let item =
+        Item { kind, name, trait_name, tok: i, line, end_line, body: Some(body), children, fields };
+    Some((item, after))
+}
+
+/// Resolve the self-type (and optional trait) names of an `impl` header
+/// starting just after the `impl` keyword. The name is the last path
+/// segment seen at generic-argument depth zero before the body opens.
+fn impl_names(toks: &[Token], start: usize, end: usize) -> Option<(String, Option<String>)> {
+    let mut j = start;
+    // Skip the generic parameter list on `impl<…>` if present. `<` and
+    // `>` are also comparison operators, but not directly after `impl`.
+    if toks.get(j).is_some_and(|t| t.is_punct("<")) {
+        j = skip_angles(toks, j, end);
+    }
+    let mut last_ident: Option<String> = None;
+    let mut before_for: Option<String> = None;
+    let mut angle = 0i32;
+    while j < end {
+        let t = &toks[j];
+        match t.kind {
+            TokKind::Ident if t.text == "for" && angle == 0 => {
+                before_for = last_ident.take();
+            }
+            TokKind::Ident if t.text == "where" && angle == 0 => break,
+            TokKind::Ident if angle == 0 && t.text != "dyn" && t.text != "mut" => {
+                last_ident = Some(t.text.clone());
+            }
+            TokKind::Punct => match t.text.as_str() {
+                "{" if angle == 0 => break,
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "<<" => angle += 2,
+                ">>" => angle -= 2,
+                "(" | "[" => {
+                    j = skip_group(toks, j, end);
+                    continue;
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+        j += 1;
+    }
+    let ty = last_ident?;
+    Some((ty, before_for.filter(|t| !t.is_empty())))
+}
+
+/// Skip a `<…>` group opened at `toks[i]`, honouring `<<`/`>>` tokens.
+fn skip_angles(toks: &[Token], i: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < end {
+        match toks[j].text.as_str() {
+            "<" => depth += 1,
+            "<<" => depth += 2,
+            ">" => depth -= 1,
+            ">>" => depth -= 2,
+            _ => {}
+        }
+        j += 1;
+        if depth <= 0 {
+            break;
+        }
+    }
+    j
+}
+
+/// Extract record-struct field names (and whether each type mentions a
+/// hash collection) from a struct body token range.
+fn struct_fields(toks: &[Token], start: usize, end: usize) -> Vec<Field> {
+    let mut out = Vec::new();
+    let mut i = start;
+    while i < end {
+        // A field starts at an ident followed by `:` at depth zero whose
+        // predecessor is `{`-open position, a comma, or a visibility
+        // group close.
+        let t = &toks[i];
+        if t.kind == TokKind::Ident && toks.get(i + 1).is_some_and(|n| n.is_punct(":")) {
+            let starts_field = if i == start {
+                true
+            } else {
+                let p = &toks[i - 1];
+                p.is_punct(",") || p.is_punct(")") || p.is_ident("pub") || p.is_punct("]")
+            };
+            if starts_field {
+                // Type runs to the next comma at delimiter depth zero.
+                let mut j = i + 2;
+                let mut hash_typed = false;
+                while j < end {
+                    let tt = &toks[j];
+                    if tt.kind == TokKind::Punct {
+                        match tt.text.as_str() {
+                            "," => break,
+                            "(" | "[" | "{" => {
+                                // Delimiter groups inside a type can
+                                // still mention a hash collection.
+                                let close = skip_group(toks, j, end);
+                                if toks[j..close.min(end)]
+                                    .iter()
+                                    .any(|x| x.is_ident("HashMap") || x.is_ident("HashSet"))
+                                {
+                                    hash_typed = true;
+                                }
+                                j = close;
+                                continue;
+                            }
+                            _ => {}
+                        }
+                    } else if tt.is_ident("HashMap") || tt.is_ident("HashSet") {
+                        hash_typed = true;
+                    }
+                    j += 1;
+                }
+                out.push(Field { name: t.text.clone(), hash_typed });
+                i = j;
+                continue;
+            }
+        }
+        // Attributes and doc comments are not in the token stream except
+        // `#[…]` — skip their bracket groups so literals inside them are
+        // not misread as field starts.
+        if t.is_punct("#") && toks.get(i + 1).is_some_and(|n| n.is_punct("[")) {
+            i = skip_group(toks, i + 1, end);
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Depth-first walk over items and their children.
+pub fn walk_items<'a>(items: &'a [Item], f: &mut impl FnMut(&'a Item)) {
+    for it in items {
+        f(it);
+        walk_items(&it.children, f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Vec<Item> {
+        parse_items(&lex(src).tokens)
+    }
+
+    #[test]
+    fn finds_top_level_items_with_spans() {
+        let src = "fn a() { let x = 1; }\nstruct S { v: u32 }\nenum E { A, B }\nmod m {\n  fn inner() {}\n}\n";
+        let items = parse(src);
+        let names: Vec<_> = items.iter().map(|i| (i.kind, i.name.as_str(), i.line)).collect();
+        assert_eq!(
+            names,
+            vec![
+                (ItemKind::Fn, "a", 1),
+                (ItemKind::Struct, "S", 2),
+                (ItemKind::Enum, "E", 3),
+                (ItemKind::Mod, "m", 4),
+            ]
+        );
+        assert_eq!(items[3].children.len(), 1);
+        assert_eq!(items[3].children[0].name, "inner");
+        assert_eq!(items[3].end_line, 6);
+    }
+
+    #[test]
+    fn impl_blocks_resolve_self_type_and_trait() {
+        let src = "impl<F: Forecaster> QuantilePredictivePolicy<F> {\n  fn plan_state(&self) {}\n}\nimpl fmt::Display for Severity {\n  fn fmt(&self) {}\n}\nimpl ScalingPolicy for gate::ForecastHealthGate<F> { fn decide(&mut self) {} }\n";
+        let items = parse(src);
+        assert_eq!(items[0].kind, ItemKind::Impl);
+        assert_eq!(items[0].name, "QuantilePredictivePolicy");
+        assert_eq!(items[0].trait_name, None);
+        assert_eq!(items[0].children[0].name, "plan_state");
+        assert_eq!(items[1].name, "Severity");
+        assert_eq!(items[1].trait_name.as_deref(), Some("Display"));
+        assert_eq!(items[2].name, "ForecastHealthGate");
+        assert_eq!(items[2].trait_name.as_deref(), Some("ScalingPolicy"));
+    }
+
+    #[test]
+    fn fn_bodies_are_not_descended_into() {
+        // The `impl Iterator` return type and the nested helper must not
+        // surface as sibling items.
+        let src = "fn outer() -> u32 {\n  fn helper() {}\n  struct Local;\n  1\n}\n";
+        let items = parse(src);
+        assert_eq!(items.len(), 1);
+        assert!(items[0].children.is_empty());
+        assert_eq!(items[0].end_line, 5);
+    }
+
+    #[test]
+    fn struct_fields_and_hash_typing() {
+        let src = "pub struct S {\n  pub a: u32,\n  map: HashMap<String, u32>,\n  set: std::collections::HashSet<u64>,\n  v: Vec<(String, u32)>,\n}\n";
+        let items = parse(src);
+        let fields: Vec<_> =
+            items[0].fields.iter().map(|f| (f.name.as_str(), f.hash_typed)).collect();
+        assert_eq!(fields, vec![("a", false), ("map", true), ("set", true), ("v", false)]);
+    }
+
+    #[test]
+    fn tuple_and_unit_structs_parse_without_fields() {
+        let items = parse("struct P(f64, f64);\nstruct U;\nfn after() {}\n");
+        assert_eq!(items.len(), 3);
+        assert!(items[0].fields.is_empty());
+        assert_eq!(items[2].name, "after");
+    }
+
+    #[test]
+    fn trait_with_bodiless_methods() {
+        let src = "trait T {\n  fn required(&self);\n  fn provided(&self) { }\n}\n";
+        let items = parse(src);
+        assert_eq!(items[0].kind, ItemKind::Trait);
+        let kids: Vec<_> =
+            items[0].children.iter().map(|c| (c.name.as_str(), c.body.is_some())).collect();
+        assert_eq!(kids, vec![("required", false), ("provided", true)]);
+    }
+
+    #[test]
+    fn nested_generics_with_shift_tokens() {
+        let src = "impl Wrapper<Vec<Vec<u32>>> {\n  fn get(&self) {}\n}\n";
+        let items = parse(src);
+        assert_eq!(items[0].name, "Wrapper");
+        assert_eq!(items[0].children.len(), 1);
+    }
+
+    #[test]
+    fn mod_declaration_without_body() {
+        let items = parse("mod x;\nfn f() {}\n");
+        assert_eq!(items[0].kind, ItemKind::Mod);
+        assert!(items[0].body.is_none());
+        assert_eq!(items[1].name, "f");
+    }
+}

@@ -80,7 +80,13 @@ pub fn is_library_path(rel: &str) -> bool {
 /// Analyse one Rust file. `rel` is the workspace-relative path with `/`
 /// separators — every scope decision keys off it.
 pub fn analyze_rust_file(rel: &str, src: &str, cfg: &Config) -> FileAnalysis {
-    let lexed = lex(src);
+    analyze_lexed(rel, &lex(src), cfg)
+}
+
+/// Same as [`analyze_rust_file`], but over an existing lex — the
+/// workspace pass lexes each file exactly once and shares the tokens
+/// with the semantic index.
+pub fn analyze_lexed(rel: &str, lexed: &crate::lexer::Lexed, cfg: &Config) -> FileAnalysis {
     let (sup, mut diags) = suppress::collect(rel, &lexed.comments, &lexed.tokens);
     let test_lines = test_regions(&lexed.tokens);
     let file_is_test = is_test_path(rel);
@@ -274,7 +280,8 @@ pub struct LineRange {
 }
 
 impl LineRange {
-    fn contains(&self, line: u32) -> bool {
+    /// Is `line` inside this range (inclusive both ends)?
+    pub fn contains(&self, line: u32) -> bool {
         (self.start..=self.end).contains(&line)
     }
 }

@@ -1,0 +1,19 @@
+//! E1 fixture: every emit shape, checked against the sibling
+//! `events-registry.json`. Registered there: `plan/decision`,
+//! `plan/counter`, `plan/gauge`, `plan/span_close`, a deliberate
+//! orphan `sem/orphan` (no emit site below — flagged registry-side),
+//! and dynamic `telemetry/histogram`.
+
+pub fn emits(obs: &Obs, name: &str, span: &str) {
+    obs.info("plan", "decision", |f| f.raw("registered"));
+    obs.warn("plan", "mystery", |f| f.raw("unregistered")); //~ E1
+    obs.emit(Level::Info, "plan", name, |f| f.raw("dynamic event, known span"));
+    obs.emit(Level::Info, "bogus", name, |f| f.raw("dynamic event, unknown span")); //~ E1
+    obs.emit(Level::Info, span, "histogram", |f| f.raw("dynamic span, dynamic entry"));
+    obs.emit(Level::Info, span, "decision", |f| f.raw("dynamic span, static entry")); //~ E1
+    obs.counter("plan", "widgets", 1);
+    obs.gauge("plan", "temperature", 3.5);
+    obs.span("plan", "phase");
+    // rpas-lint: allow(E1, reason = "fixture: a justified allow keeps the site out of the report")
+    obs.info("plan", "suppressed", |f| f.raw("allowed"));
+}

@@ -1,0 +1,47 @@
+//! N1 fixture: unordered iteration over hash collections. Flagged:
+//! hash-typed struct fields, tracked params, tracked locals. Clean:
+//! Vec fields, collect-then-sort chains, allow-with-reason sites.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Cache {
+    hot: HashMap<String, u64>,
+    names: Vec<String>,
+}
+
+impl Cache {
+    pub fn sum(&self, extra: &HashMap<String, u64>) -> u64 {
+        let mut total = 0;
+        for v in self.hot.values() { total += v; } //~ N1
+        for (_k, v) in extra { total += v; } //~ N1
+        for n in &self.names { total += n.len() as u64; }
+        total
+    }
+
+    pub fn sorted_keys(&self) -> Vec<String> {
+        let mut ks: Vec<String> = self.hot.keys().cloned().collect();
+        ks.sort();
+        ks
+    }
+
+    pub fn merge(&mut self, extra: HashMap<String, u64>) {
+        // rpas-lint: allow(N1, reason = "insertion into a map is order-independent")
+        for (k, v) in extra { self.hot.insert(k, v); }
+    }
+}
+
+pub fn distinct(vals: &[u32]) -> usize {
+    let seen: HashSet<u32> = vals.iter().copied().collect();
+    seen.iter().count() //~ N1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        for v in m.values() { assert_eq!(*v, 0); }
+    }
+}

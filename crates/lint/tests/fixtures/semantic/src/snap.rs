@@ -1,0 +1,27 @@
+//! S1 fixture: snapshot/restore parity. `Gauge::snapshot` reads a field
+//! its restore never writes (flagged); `Sharded::restore` covers its
+//! field transitively through `self.cell()` (clean).
+
+pub struct Gauge {
+    value: f64,
+    resid: f64,
+}
+
+impl Gauge {
+    pub fn snapshot(&self) -> (f64, f64) { (self.value, self.resid) } //~ S1
+    pub fn restore(&mut self, s: (f64, f64)) { self.value = s.0; }
+}
+
+pub struct Sharded {
+    shards: Vec<u64>,
+}
+
+impl Sharded {
+    fn cell(&mut self, i: usize) -> &mut u64 { &mut self.shards[i] }
+    pub fn dump(&self) -> Vec<u64> { self.shards.clone() }
+    pub fn restore(&mut self, v: &[u64]) {
+        for (i, x) in v.iter().enumerate() {
+            *self.cell(i) = *x;
+        }
+    }
+}

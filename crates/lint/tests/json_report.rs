@@ -1,0 +1,82 @@
+//! `lint --json` round-trip: the machine-readable report rendered from a
+//! real run must validate against the schema-v1 checker, and the summary
+//! read back out must agree with both the in-memory diagnostics and the
+//! human report's trailer counts.
+
+use rpas_lint::config::Config;
+use rpas_lint::report::{self, Severity};
+use std::path::{Path, PathBuf};
+
+fn semantic_fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/semantic")
+}
+
+/// Pull `(files, errors, warnings)` back out of the human trailer line
+/// `rpas-lint: N files scanned, E errors, W warnings`.
+fn human_counts(rendered: &str) -> (usize, usize, usize) {
+    let trailer = rendered.lines().last().expect("human report has a trailer");
+    let nums: Vec<usize> = trailer
+        .split(|c: char| !c.is_ascii_digit())
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().expect("trailer number"))
+        .collect();
+    assert_eq!(nums.len(), 3, "unexpected trailer shape: {trailer:?}");
+    (nums[0], nums[1], nums[2])
+}
+
+fn roundtrip(root: &Path, cfg: &Config) {
+    let res = rpas_lint::run_workspace(root, cfg).expect("workspace run");
+    let json = report::render_json(&res.diagnostics, &res.p1, res.files_scanned);
+    let sum = report::validate_json(&json).expect("rendered report is schema-v1 valid");
+
+    let errors = res.diagnostics.iter().filter(|d| d.severity == Severity::Error).count();
+    assert_eq!(sum.files_scanned as usize, res.files_scanned);
+    assert_eq!(sum.errors as usize, errors);
+    assert_eq!(sum.warnings as usize, res.diagnostics.len() - errors);
+    assert_eq!(sum.violations.len(), res.diagnostics.len());
+    for (d, (rule, _sev, file, line)) in res.diagnostics.iter().zip(&sum.violations) {
+        assert_eq!((d.rule, &d.file, u64::from(d.line)), (rule.as_str(), file, *line));
+    }
+
+    let human = report::render_human(&res.diagnostics, res.files_scanned);
+    assert_eq!(
+        human_counts(&human),
+        (sum.files_scanned as usize, sum.errors as usize, sum.warnings as usize)
+    );
+}
+
+#[test]
+fn json_roundtrips_on_a_violating_corpus() {
+    // The semantic fixture workspace guarantees a non-empty violations
+    // array, so array-vs-header consistency is actually exercised.
+    let mut cfg = Config::default();
+    for r in ["D1", "D2", "O1", "P1", "F1"] {
+        cfg.enabled.remove(r);
+    }
+    roundtrip(&semantic_fixture_root(), &cfg);
+}
+
+#[test]
+fn json_roundtrips_on_the_real_workspace() {
+    let root = rpas_lint::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("crates/lint lives inside the workspace");
+    roundtrip(&root, &Config::default());
+}
+
+#[test]
+fn tampered_report_fails_validation() {
+    let res = rpas_lint::run_workspace(&semantic_fixture_root(), &{
+        let mut cfg = Config::default();
+        for r in ["D1", "D2", "O1", "P1", "F1"] {
+            cfg.enabled.remove(r);
+        }
+        cfg
+    })
+    .expect("workspace run");
+    let json = report::render_json(&res.diagnostics, &res.p1, res.files_scanned);
+    // Dropping one violation desynchronises the header counts.
+    let first = json.find("{\"rule\"").expect("at least one violation object");
+    let end = json[first..].find('\n').expect("line end") + first + 1;
+    let tampered = format!("{}{}", &json[..first], &json[end..]);
+    assert!(report::validate_json(&tampered).is_err(), "count drift must be rejected");
+}

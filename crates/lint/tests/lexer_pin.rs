@@ -1,0 +1,86 @@
+//! Lexer pin tests: freeze the token-stream shape on the corners that
+//! are easiest to regress — raw strings, nested block comments, char
+//! vs. lifetime disambiguation, and line accounting across multi-byte
+//! UTF-8 source. Every rule and the whole semantic index sit on top of
+//! these exact behaviours.
+
+use rpas_lint::lexer::{lex, TokKind};
+
+/// `(kind, text, line)` triples for compact assertions.
+fn toks(src: &str) -> Vec<(TokKind, String, u32)> {
+    lex(src).tokens.into_iter().map(|t| (t.kind, t.text, t.line)).collect()
+}
+
+#[test]
+fn raw_strings_swallow_quotes_and_hashes() {
+    // A `"` inside r#"…"# must not terminate the literal; the lexeme is
+    // kept verbatim, and code after it still lexes.
+    let src = "let a = r#\"quote \" inside\"#;\nlet b = r##\"nested \"# still inside\"##;\nlet c = br\"bytes\";\n";
+    let got = toks(src);
+    let strs: Vec<&(TokKind, String, u32)> =
+        got.iter().filter(|(k, _, _)| *k == TokKind::Str).collect();
+    assert_eq!(strs.len(), 3, "{got:?}");
+    assert_eq!(strs[0].1, "r#\"quote \" inside\"#");
+    assert_eq!(strs[1].1, "r##\"nested \"# still inside\"##");
+    assert_eq!(strs[2].1, "br\"bytes\"");
+    assert_eq!((strs[0].2, strs[1].2, strs[2].2), (1, 2, 3));
+    // No identifier from inside a literal leaks into the code stream.
+    assert!(!got.iter().any(|(k, t, _)| *k == TokKind::Ident && t == "inside"));
+}
+
+#[test]
+fn block_comments_nest_and_keep_line_count() {
+    let src = "before();\n/* outer /* inner */ still comment */ after();\n/* multi\nline /* deep\n*/ */ tail();\n";
+    let lexed = lex(src);
+    let idents: Vec<(String, u32)> = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| (t.text.clone(), t.line))
+        .collect();
+    // `still`, `comment`, `deep` never surface as code.
+    assert_eq!(
+        idents,
+        vec![("before".to_string(), 1), ("after".to_string(), 2), ("tail".to_string(), 5)]
+    );
+    assert_eq!(lexed.comments.len(), 2);
+    // Both comments lead their starting line (no code before them), so
+    // neither is trailing; the second spans lines 3–5.
+    assert_eq!(lexed.comments[0].line, 2);
+    assert_eq!(lexed.comments[1].line, 3);
+    assert!(!lexed.comments[0].trailing);
+    assert!(!lexed.comments[1].trailing);
+}
+
+#[test]
+fn char_literals_are_not_lifetimes() {
+    let src = "fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; let b = b'z'; let s: &'static str = \"\"; }\n";
+    let got = toks(src);
+    let lifetimes: Vec<&String> =
+        got.iter().filter(|(k, _, _)| *k == TokKind::Lifetime).map(|(_, t, _)| t).collect();
+    let chars: Vec<&String> =
+        got.iter().filter(|(k, _, _)| *k == TokKind::Char).map(|(_, t, _)| t).collect();
+    assert_eq!(lifetimes, ["'a", "'a", "'static"], "{got:?}");
+    assert_eq!(chars, ["'x'", "'\\n'", "b'z'"], "{got:?}");
+}
+
+#[test]
+fn multibyte_utf8_keeps_lines_and_lexemes_intact() {
+    // Multi-byte content in strings, comments, and char literals must
+    // not desynchronise byte-oriented scanning or line numbers.
+    let src = "let greet = \"héllo wörld — ✓\";\n// commentaire: déjà vu ✓\nlet emoji = '🦀';\nfn after_unicode() {}\n";
+    let lexed = lex(src);
+    let s = lexed.tokens.iter().find(|t| t.kind == TokKind::Str).expect("string token");
+    assert_eq!(s.text, "\"héllo wörld — ✓\"");
+    assert_eq!(s.line, 1);
+    let c = lexed.tokens.iter().find(|t| t.kind == TokKind::Char).expect("char token");
+    assert_eq!(c.text, "'🦀'");
+    assert_eq!(c.line, 3);
+    // Multi-byte bytes never contain `\n`, so line accounting stays in
+    // sync for the ASCII code that follows.
+    let f = lexed.tokens.iter().find(|t| t.is_ident("after_unicode")).expect("ident after unicode");
+    assert_eq!(f.line, 4);
+    assert_eq!(lexed.comments.len(), 1);
+    assert_eq!(lexed.comments[0].line, 2);
+    assert!(lexed.comments[0].text.contains("déjà"));
+}

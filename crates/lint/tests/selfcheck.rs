@@ -6,7 +6,9 @@
 
 use rpas_lint::baseline;
 use rpas_lint::config::Config;
+use rpas_lint::registry;
 use rpas_lint::report::Severity;
+use std::collections::BTreeSet;
 use std::fs;
 use std::path::Path;
 
@@ -40,6 +42,30 @@ fn committed_baseline_matches_census() {
         res.p1, committed,
         "P1 census drifted from lint-baseline.json — if the change is \
          deliberate, regenerate it with `cargo run --bin lint -- --write-baseline` \
+         and review the diff"
+    );
+}
+
+#[test]
+fn committed_events_registry_is_fresh() {
+    // The registry must be byte-for-byte what `--write-events` would
+    // regenerate: the sweep's static emit inventory plus the hand-curated
+    // dynamic entries. Anything else means an emit site was added,
+    // renamed, or removed without updating the registry.
+    let root = workspace_root();
+    let res = rpas_lint::run_workspace(&root, &Config::default()).expect("lint run");
+    let committed = fs::read_to_string(root.join("events-registry.json"))
+        .expect("events-registry.json is committed at the workspace root");
+    let reg = registry::parse(&committed).expect("committed registry parses");
+    let dynamic: BTreeSet<String> =
+        reg.events.iter().filter(|e| e.dynamic).map(|e| e.name.clone()).collect();
+    let static_names: BTreeSet<String> =
+        res.emit_sites.iter().filter_map(|s| s.full_name()).collect();
+    assert_eq!(
+        committed,
+        registry::to_json(&static_names, &dynamic),
+        "events-registry.json drifted from the workspace's emit sites — if the \
+         change is deliberate, regenerate it with `cargo run --bin lint -- --write-events` \
          and review the diff"
     );
 }

@@ -4,10 +4,12 @@
 # Asserts the two invariants this repo promises:
 #   1. The whole workspace builds and tests OFFLINE — no registry access,
 #      path dependencies only.
-#   2. The rpas-lint rules hold (DESIGN.md §9): no banned external crates,
-#      no nondeterminism sources outside obs/bench, stdout/stderr
-#      discipline, a frozen panic-site budget, and no bare float equality
-#      in numeric crates.
+#   2. The rpas-lint rules hold (DESIGN.md §9/§14): no banned external
+#      crates, no nondeterminism sources outside obs/bench, stdout/stderr
+#      discipline, a frozen panic-site budget, no bare float equality in
+#      numeric crates — plus the cross-file semantic rules: every obs
+#      event name registered (E1), snapshot/restore parity (S1), and no
+#      unordered hash iteration (N1).
 #
 # Optional: RPAS_VERIFY_PARALLEL=1 additionally checks that the table1
 # experiment produces byte-identical CSV output single-threaded vs
@@ -53,6 +55,69 @@ diff -u lint-baseline.json "$trace_tmp/lint-baseline.json" || {
     exit 1
 }
 echo "ok: lint-baseline.json matches a fresh census"
+
+echo "== lint --json report schema =="
+# The machine-readable report must satisfy its own strict schema-v1
+# validator (--check-report exits 1 on any drift), and be byte-identical
+# across thread counts — CI consumers parse this file.
+RPAS_THREADS=1 cargo run -q --release --offline --bin lint -- --json \
+    > "$trace_tmp/report1.json"
+RPAS_THREADS=4 cargo run -q --release --offline --bin lint -- --json \
+    > "$trace_tmp/report4.json"
+diff "$trace_tmp/report1.json" "$trace_tmp/report4.json" || {
+    echo "ERROR: lint --json output varies with RPAS_THREADS" >&2
+    exit 1
+}
+cargo run -q --release --offline --bin lint -- --check-report "$trace_tmp/report1.json" || {
+    echo "ERROR: lint --json produced a report its own validator rejects" >&2
+    exit 1
+}
+echo "ok: lint --json is schema-v1 valid and thread-count invariant"
+
+echo "== events registry freshness (E1) =="
+# The committed registry must be exactly what --write-events regenerates:
+# a stale file would let event renames drift past the registry silently.
+cargo run -q --release --offline --bin lint -- \
+    --write-events "$trace_tmp/events-registry.json" > /dev/null
+diff -u events-registry.json "$trace_tmp/events-registry.json" || {
+    echo "ERROR: events-registry.json is stale — regenerate with" >&2
+    echo "       cargo run --bin lint -- --write-events   and review the diff" >&2
+    exit 1
+}
+echo "ok: events-registry.json matches the workspace's emit sites"
+
+echo "== lint negative gates (a broken input must fail) =="
+# 1. A registry entry with no emit site is an E1 error: inject one into a
+#    copy and the sweep must exit non-zero naming it.
+sed 's|"events": \[|"events": [\n    { "name": "bogus/never_emitted" },|' \
+    events-registry.json > "$trace_tmp/bogus-registry.json"
+if cargo run -q --release --offline --bin lint -- \
+    --events-registry "$trace_tmp/bogus-registry.json" > "$trace_tmp/bogus.txt"; then
+    echo "ERROR: lint accepted a registry entry with no emit site" >&2
+    exit 1
+fi
+grep -q "bogus/never_emitted" "$trace_tmp/bogus.txt" || {
+    echo "ERROR: orphan-registry failure did not name the orphaned entry" >&2
+    exit 1
+}
+# 2. The semantic fixture corpus (unregistered events, a snapshot field no
+#    restore covers, unordered hash iteration) must fail on exactly the
+#    semantic rules.
+if cargo run -q --release --offline --bin lint -- \
+    --root crates/lint/tests/fixtures/semantic \
+    --disable D1 --disable D2 --disable O1 --disable P1 --disable F1 \
+    > "$trace_tmp/semantic.txt"; then
+    echo "ERROR: lint passed the deliberately-violating semantic corpus" >&2
+    exit 1
+fi
+for rule in E1 S1 N1; do
+    grep -q "\[$rule\]" "$trace_tmp/semantic.txt" || {
+        echo "ERROR: semantic corpus run is missing $rule findings" >&2
+        cat "$trace_tmp/semantic.txt" >&2
+        exit 1
+    }
+done
+echo "ok: orphaned registry entries and semantic violations hard-fail"
 
 echo "== trace round-trip (backtest --trace-out → trace-report) =="
 RPAS_PROFILE=quick RPAS_LOG=warn \

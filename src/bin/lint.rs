@@ -5,15 +5,21 @@
 //! cargo run --bin lint -- --json              # stable JSON report
 //! cargo run --bin lint -- --deny-warnings     # CI mode (verify.sh)
 //! cargo run --bin lint -- --write-baseline    # re-freeze the P1 budget
+//! cargo run --bin lint -- --write-events      # re-freeze the obs event registry
+//! cargo run --bin lint -- --check-report F    # validate a --json report file
 //! cargo run --bin lint -- --rules             # rule table
 //! ```
 //!
 //! Exit codes: 0 clean, 1 violations (or warnings under
-//! `--deny-warnings`), 2 usage or I/O error.
+//! `--deny-warnings`, or an invalid report under `--check-report`),
+//! 2 usage or I/O error.
 
 use rpas_lint::baseline;
 use rpas_lint::config::{rule_summary, Config, RULE_IDS};
+use rpas_lint::registry;
 use rpas_lint::report::{self, Severity};
+use rpas_lint::semantic::RegistryState;
+use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -23,12 +29,16 @@ struct Args {
     deny_warnings: bool,
     baseline_path: Option<PathBuf>,
     write_baseline: Option<Option<PathBuf>>,
+    events_registry: Option<String>,
+    write_events: Option<Option<PathBuf>>,
+    check_report: Option<PathBuf>,
     rules: bool,
     disabled: Vec<String>,
 }
 
 const USAGE: &str = "usage: lint [--root DIR] [--json] [--deny-warnings] \
-[--baseline FILE] [--write-baseline [FILE]] [--disable RULE] [--rules]";
+[--baseline FILE] [--write-baseline [FILE]] [--events-registry FILE] \
+[--write-events [FILE]] [--check-report FILE] [--disable RULE] [--rules]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -37,6 +47,9 @@ fn parse_args() -> Result<Args, String> {
         deny_warnings: false,
         baseline_path: None,
         write_baseline: None,
+        events_registry: None,
+        write_events: None,
+        check_report: None,
         rules: false,
         disabled: Vec::new(),
     };
@@ -55,6 +68,20 @@ fn parse_args() -> Result<Args, String> {
                     it.next();
                 }
                 args.write_baseline = Some(next.map(PathBuf::from));
+            }
+            "--events-registry" => {
+                args.events_registry =
+                    Some(it.next().ok_or("--events-registry needs a root-relative path")?)
+            }
+            "--write-events" => {
+                let next = it.peek().filter(|n| !n.starts_with("--")).cloned();
+                if next.is_some() {
+                    it.next();
+                }
+                args.write_events = Some(next.map(PathBuf::from));
+            }
+            "--check-report" => {
+                args.check_report = Some(it.next().ok_or("--check-report needs a path")?.into())
             }
             "--disable" => args.disabled.push(it.next().ok_or("--disable needs a rule id")?),
             "--rules" => args.rules = true,
@@ -82,9 +109,38 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if let Some(path) = &args.check_report {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                println!("lint: cannot read report {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        return match report::validate_json(&src) {
+            Ok(sum) => {
+                println!(
+                    "lint: report is schema-v1 valid ({} violations, {} errors, {} warnings, {} files)",
+                    sum.violations.len(),
+                    sum.errors,
+                    sum.warnings,
+                    sum.files_scanned
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                println!("lint: invalid report {}: {e}", path.display());
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     let mut cfg = Config::default();
     for r in &args.disabled {
         cfg.enabled.remove(r);
+    }
+    if let Some(reg) = &args.events_registry {
+        cfg.events_registry_file = reg.clone();
     }
 
     let cwd = match std::env::current_dir() {
@@ -124,6 +180,32 @@ fn main() -> ExitCode {
             "lint: froze P1 budget for {} crates ({} panic sites) into {}",
             res.p1.len(),
             res.p1.values().map(|c| c.total()).sum::<u32>(),
+            target.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(target) = args.write_events {
+        let target = target.unwrap_or_else(|| root.join(&cfg.events_registry_file));
+        // Static entries come from the sweep; dynamic entries are
+        // hand-curated and survive regeneration.
+        let dynamic: BTreeSet<String> = match rpas_lint::load_registry(&root, &cfg) {
+            RegistryState::Loaded(reg) => {
+                reg.events.iter().filter(|e| e.dynamic).map(|e| e.name.clone()).collect()
+            }
+            _ => BTreeSet::new(),
+        };
+        let static_names: BTreeSet<String> =
+            res.emit_sites.iter().filter_map(|s| s.full_name()).collect();
+        let json = registry::to_json(&static_names, &dynamic);
+        if let Err(e) = std::fs::write(&target, &json) {
+            println!("lint: cannot write events registry {}: {e}", target.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "lint: froze {} obs event names ({} dynamic) into {}",
+            static_names.len() + dynamic.len(),
+            dynamic.len(),
             target.display()
         );
         return ExitCode::SUCCESS;
